@@ -1,0 +1,46 @@
+"""Theorem 8 benchmark: the impossibility boundary, executed.
+
+Sweeps (k, f) across the ⌈k/n⌉ > ⌈(k−f)/n⌉ line and verifies the
+two-execution construction produces a violation exactly when the theorem
+says it must.
+"""
+
+import pytest
+
+from conftest import attach
+from repro.core import demonstrate_impossibility, impossibility_applies
+
+
+def bench_impossibility_construction(benchmark, bench_graph):
+    n = bench_graph.n
+    k = 2 * n - 2
+
+    def run():
+        return demonstrate_impossibility(bench_graph, k=k, f=n, seed=1)
+
+    rep = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert rep.applies and rep.violated
+    benchmark.extra_info.update(
+        n=n, k=k, f=n, cap_all=rep.cap_all, cap_required=rep.cap_required,
+        honest_at_crowded=rep.honest_at_crowded,
+    )
+
+
+def bench_impossibility_boundary_sweep(benchmark, bench_graph):
+    n = bench_graph.n
+    k = 2 * n
+
+    def sweep():
+        out = []
+        for f in range(0, n + 3):
+            applies = impossibility_applies(n, k, f)
+            rep = demonstrate_impossibility(bench_graph, k=k, f=f, seed=2)
+            out.append((f, applies, rep.violated))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Below the line: construction cannot violate; above: always violates.
+    for f, applies, violated in out:
+        assert applies == (f >= n), f
+        assert violated == applies, (f, applies, violated)
+    benchmark.extra_info.update(boundary_f=n, sweep=str(out))

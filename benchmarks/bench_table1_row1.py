@@ -1,0 +1,50 @@
+"""Table 1 row 1 (Theorem 1): f <= n-1, arbitrary start, quotient-class graphs.
+
+Regenerates the row empirically: at the maximum tolerance ``f = n − 1``
+and at ``f = n/2``, under the most hostile weak strategies, the algorithm
+must disperse within its polynomial bound.  ``extra_info`` carries the
+round counts (the paper's metric); pytest-benchmark reports wall time.
+"""
+
+import pytest
+
+from conftest import attach
+from repro.byzantine import Adversary
+from repro.core import get_row
+
+ROW = get_row(1)
+
+
+@pytest.mark.parametrize("strategy", ["squatter", "ghost_squatter", "flag_spammer"])
+def bench_row1_full_tolerance(benchmark, bench_graph, strategy):
+    f = ROW.f_max(bench_graph)
+
+    def run():
+        return ROW.solver(bench_graph, f=f, adversary=Adversary(strategy, seed=1), seed=1)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.success, report.violations
+    attach(
+        benchmark, report, f=f, strategy=strategy,
+        paper_bound=ROW.paper_bound(bench_graph, f), tolerance="n-1",
+    )
+
+
+def bench_row1_half_byzantine(benchmark, bench_graph):
+    f = bench_graph.n // 2
+
+    def run():
+        return ROW.solver(bench_graph, f=f, adversary=Adversary("random_walker", seed=2), seed=2)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.success
+    attach(benchmark, report, f=f, strategy="random_walker")
+
+
+def bench_row1_all_honest(benchmark, bench_graph):
+    def run():
+        return ROW.solver(bench_graph, f=0, seed=3)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.success
+    attach(benchmark, report, f=0, strategy="none")

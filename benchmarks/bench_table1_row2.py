@@ -1,0 +1,31 @@
+"""Table 1 row 2 (Theorem 2): arbitrary start, f <= n/2-1 weak, Õ(n⁹).
+
+The dominant cost is the charged [24] gathering (4·n⁴·|Λgood|·X(n));
+the simulated portion equals row 4's tournament.  The benchmark verifies
+the charge dominates and matches the paper bound exactly.
+"""
+
+import pytest
+
+from conftest import attach
+from repro.byzantine import Adversary
+from repro.core import get_row
+
+ROW = get_row(2)
+
+
+@pytest.mark.parametrize("strategy", ["squatter", "idle"])
+def bench_row2_at_tolerance(benchmark, bench_graph, strategy):
+    f = ROW.f_max(bench_graph)
+
+    def run():
+        return ROW.solver(bench_graph, f=f, adversary=Adversary(strategy, seed=8), seed=8)
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.success, report.violations
+    assert report.rounds_charged == ROW.paper_bound(bench_graph, f)
+    assert report.rounds_charged > report.rounds_simulated  # gathering dominates
+    attach(
+        benchmark, report, f=f, strategy=strategy,
+        paper_bound=ROW.paper_bound(bench_graph, f),
+    )

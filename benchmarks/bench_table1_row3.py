@@ -1,0 +1,48 @@
+"""Table 1 row 3 (Theorem 5): arbitrary start, f = O(sqrt n) weak, Õ(n⁵·√n).
+
+Hirose-charged gathering + one two-group mapping run.  The benchmark
+checks the headline separation of the row: restricting f makes the
+arbitrary-start charge collapse from row 2's Õ(n⁹) to Õ(n⁵·√n).
+"""
+
+import pytest
+
+from conftest import attach
+from repro.byzantine import Adversary
+from repro.core import get_row
+
+ROW2 = get_row(2)
+ROW3 = get_row(3)
+
+
+@pytest.mark.parametrize("strategy", ["squatter", "random_walker"])
+def bench_row3_at_tolerance(benchmark, bench_graph, strategy):
+    f = ROW3.f_max(bench_graph)
+
+    def run():
+        return ROW3.solver(bench_graph, f=f, adversary=Adversary(strategy, seed=9), seed=9)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.success, report.violations
+    attach(
+        benchmark, report, f=f, strategy=strategy,
+        paper_bound=ROW3.paper_bound(bench_graph, f),
+    )
+
+
+def bench_row3_cheaper_than_row2(benchmark, bench_graph):
+    """Rows 2 vs 3: the restricted-f gathering is orders cheaper."""
+    f = ROW3.f_max(bench_graph)
+
+    def run():
+        return ROW3.solver(bench_graph, f=f, adversary=Adversary("idle"), seed=10)
+
+    report3 = benchmark.pedantic(run, rounds=2, iterations=1)
+    report2 = ROW2.solver(bench_graph, f=f, adversary=Adversary("idle"), seed=10)
+    assert report3.success and report2.success
+    assert report3.rounds_charged < report2.rounds_charged
+    attach(
+        benchmark, report3, f=f,
+        row2_charge=report2.rounds_charged,
+        charge_ratio=report2.rounds_charged // max(report3.rounds_charged, 1),
+    )

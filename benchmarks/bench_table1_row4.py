@@ -1,0 +1,37 @@
+"""Table 1 row 4 (Theorem 3): gathered start, f <= n/2-1 weak, O(n^4).
+
+The fully simulated pairing tournament — the heaviest simulated row.
+The printed/attached comparison is measured rounds vs the n^4 shape.
+"""
+
+import pytest
+
+from conftest import attach
+from repro.byzantine import Adversary
+from repro.core import get_row
+
+ROW = get_row(4)
+
+
+@pytest.mark.parametrize("strategy", ["squatter", "random_walker", "false_commander"])
+def bench_row4_at_tolerance(benchmark, bench_graph, strategy):
+    f = ROW.f_max(bench_graph)
+
+    def run():
+        return ROW.solver(bench_graph, f=f, adversary=Adversary(strategy, seed=4), seed=4)
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.success, report.violations
+    attach(
+        benchmark, report, f=f, strategy=strategy,
+        paper_bound=ROW.paper_bound(bench_graph, f),
+    )
+
+
+def bench_row4_all_honest(benchmark, bench_graph):
+    def run():
+        return ROW.solver(bench_graph, f=0, seed=5)
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.success
+    attach(benchmark, report, f=0, strategy="none")

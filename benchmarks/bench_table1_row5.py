@@ -1,0 +1,48 @@
+"""Table 1 row 5 (Theorem 4): gathered start, f <= n/3-1 weak, O(n^3).
+
+Three-group map finding.  The companion check to row 4: same graph, same
+adversary — fewer simulated rounds (3 runs instead of O(n) pairings).
+"""
+
+import pytest
+
+from conftest import attach
+from repro.byzantine import Adversary
+from repro.core import get_row
+
+ROW4 = get_row(4)
+ROW5 = get_row(5)
+
+
+@pytest.mark.parametrize("strategy", ["squatter", "false_commander", "decoy_token"])
+def bench_row5_at_tolerance(benchmark, bench_graph, strategy):
+    f = ROW5.f_max(bench_graph)
+
+    def run():
+        return ROW5.solver(bench_graph, f=f, adversary=Adversary(strategy, seed=6), seed=6)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.success, report.violations
+    attach(
+        benchmark, report, f=f, strategy=strategy,
+        paper_bound=ROW5.paper_bound(bench_graph, f),
+    )
+
+
+def bench_row5_vs_row4_separation(benchmark, bench_graph):
+    """The O(n³) vs O(n⁴) crossing: row 5 simulates fewer rounds than
+    row 4 on identical configurations (asserted, and both attached)."""
+    f = min(ROW4.f_max(bench_graph), ROW5.f_max(bench_graph))
+
+    def run():
+        return ROW5.solver(bench_graph, f=f, adversary=Adversary("idle"), seed=7)
+
+    report5 = benchmark.pedantic(run, rounds=3, iterations=1)
+    report4 = ROW4.solver(bench_graph, f=f, adversary=Adversary("idle"), seed=7)
+    assert report5.success and report4.success
+    assert report5.rounds_simulated < report4.rounds_simulated
+    attach(
+        benchmark, report5, f=f,
+        row4_rounds=report4.rounds_simulated,
+        speedup=round(report4.rounds_simulated / report5.rounds_simulated, 2),
+    )

@@ -1,0 +1,46 @@
+"""Table 1 row 6 (Theorem 7): arbitrary start, strong Byzantine, exponential.
+
+Requires knowledge of ``f``.  The charge is [24]'s exponential strong
+gathering; everything after is row 7's machinery.  The benchmark verifies
+the exponential dominates every polynomial row on the same instance.
+"""
+
+import pytest
+
+from conftest import attach
+from repro.byzantine import Adversary
+from repro.core import get_row
+
+ROW6 = get_row(6)
+ROW7 = get_row(7)
+
+
+@pytest.mark.parametrize("strategy", ["impersonator", "id_cycler"])
+def bench_row6_at_tolerance(benchmark, bench_graph, strategy):
+    f = ROW6.f_max(bench_graph)
+
+    def run():
+        return ROW6.solver(bench_graph, f=f, adversary=Adversary(strategy, seed=11), seed=11)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.success, report.violations
+    assert report.rounds_charged == 2 ** bench_graph.n * bench_graph.n**2
+    attach(
+        benchmark, report, f=f, strategy=strategy,
+        paper_bound=ROW6.paper_bound(bench_graph, f),
+    )
+
+
+def bench_row6_exponential_gap_vs_row7(benchmark, bench_graph):
+    """Rows 6 vs 7: identical algorithm body; the arbitrary start pays an
+    exponential gathering premium over the gathered start."""
+    f = ROW6.f_max(bench_graph)
+
+    def run():
+        return ROW6.solver(bench_graph, f=f, adversary=Adversary("squatter"), seed=12)
+
+    report6 = benchmark.pedantic(run, rounds=2, iterations=1)
+    report7 = ROW7.solver(bench_graph, f=f, adversary=Adversary("squatter"), seed=12)
+    assert report6.success and report7.success
+    assert report6.rounds_total > report7.rounds_total
+    attach(benchmark, report6, f=f, row7_total=report7.rounds_total)

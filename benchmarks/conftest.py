@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark measures wall time via pytest-benchmark AND attaches the
+simulation's round counts (the paper's actual metric) to
+``benchmark.extra_info``; run with ``-s`` to also see the printed
+reproduction tables that mirror the paper's Table 1.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.graphs import random_connected  # noqa: E402
+
+
+#: Benchmark instance sizes — small enough for CI, large enough for shape.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "9"))
+SCALING_NS = tuple(
+    int(x) for x in os.environ.get("REPRO_BENCH_SCALING", "6,8,10,12").split(",")
+)
+
+
+@pytest.fixture(scope="session")
+def bench_graph():
+    """The standard benchmark graph (view-distinguishable, connected)."""
+    from repro.graphs import is_quotient_isomorphic
+
+    for seed in range(50):
+        g = random_connected(BENCH_N, seed=seed)
+        if is_quotient_isomorphic(g):
+            return g
+    raise RuntimeError("no view-distinguishable benchmark graph found")
+
+
+def attach(benchmark, report, **extra):
+    """Record the paper-relevant metrics alongside the timing."""
+    benchmark.extra_info.update(
+        success=report.success,
+        rounds_simulated=report.rounds_simulated,
+        rounds_charged=str(report.rounds_charged),  # may exceed JSON int range
+        **{k: str(v) for k, v in extra.items()},
+    )

@@ -1,0 +1,11 @@
+"""Pytest bootstrap: make `src/` importable even without installation.
+
+The canonical workflow is `pip install -e .` (or `python setup.py develop`
+in offline environments without the `wheel` package); this shim merely
+keeps `pytest` usable from a pristine checkout.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

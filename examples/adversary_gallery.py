@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Adversary gallery: every attack in the zoo vs the paper's algorithms.
+
+For each Byzantine strategy, run the strongest applicable algorithm at
+its full tolerance and report what the attack achieved: nothing fatal
+(the theorems are worst-case), but measurably different round costs and
+blacklist activity.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from repro import Adversary, STRONG_STRATEGIES, WEAK_STRATEGIES
+from repro.analysis import render_table
+from repro.core import solve_theorem1, solve_theorem6
+from repro.graphs import random_connected
+
+graph = random_connected(10, seed=3)
+
+rows = []
+
+# Weak attacks vs Theorem 1 at f = n-1 (the most tolerant algorithm).
+for strategy in WEAK_STRATEGIES:
+    report = solve_theorem1(
+        graph, f=9, adversary=Adversary(strategy, seed=5), seed=5, start="gathered"
+    )
+    rows.append(
+        {
+            "model": "weak",
+            "attack": strategy,
+            "algorithm": "Thm 1 (f=9)",
+            "dispersed": report.success,
+            "rounds": report.rounds_simulated,
+            "blacklists": report.meta.get("blacklists", "-"),
+        }
+    )
+
+# Strong attacks (ID faking) vs Theorem 6 at f = n/4-1.
+for strategy in STRONG_STRATEGIES:
+    report = solve_theorem6(graph, f=1, adversary=Adversary(strategy, seed=5), seed=5)
+    rows.append(
+        {
+            "model": "strong",
+            "attack": strategy,
+            "algorithm": "Thm 6 (f=1)",
+            "dispersed": report.success,
+            "rounds": report.rounds_simulated,
+            "blacklists": "-",
+        }
+    )
+
+print(render_table(rows, title="Adversary gallery (10-node random graph)"))
+assert all(r["dispersed"] for r in rows)
+print("\nNo attack in the zoo defeats an in-tolerance configuration — as proved.")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scenario: self-organising workers claiming compute nodes.
+
+The paper's motivation (Section 1): dispersion models "computational
+entities sharing resources where sharing one resource is much more
+expensive than searching for an unused one" — e.g. service replicas that
+must each claim their own host, when some replicas are compromised and
+actively lie about which hosts are taken.
+
+We model a rack fabric as a random graph, start all replicas on the
+ingress node (a gathered configuration), and compare the paper's two
+gathered-start weak-Byzantine algorithms:
+
+* Theorem 3 — tolerates up to ⌊n/2⌋−1 compromised replicas, O(n⁴) rounds.
+* Theorem 4 — tolerates up to ⌊n/3⌋−1, but only O(n³) rounds.
+
+Run:  python examples/resource_allocation.py
+"""
+
+from repro import Adversary
+from repro.analysis import render_table
+from repro.core import solve_theorem3, solve_theorem4
+from repro.graphs import random_connected
+
+FABRIC_NODES = 10
+fabric = random_connected(FABRIC_NODES, seed=42, avg_degree=3.0)
+
+rows = []
+for name, solver, f_max in (
+    ("Theorem 3 (pairing tournament)", solve_theorem3, FABRIC_NODES // 2 - 1),
+    ("Theorem 4 (three groups)", solve_theorem4, FABRIC_NODES // 3 - 1),
+):
+    for strategy in ("squatter", "false_commander", "random_walker"):
+        report = solver(
+            fabric, f=f_max, adversary=Adversary(strategy, seed=3), seed=3
+        )
+        rows.append(
+            {
+                "algorithm": name,
+                "compromised": f_max,
+                "attack": strategy,
+                "allocated": report.success,
+                "rounds": report.rounds_simulated,
+            }
+        )
+
+print(render_table(rows, title=f"Replica allocation on a {FABRIC_NODES}-node fabric"))
+
+# Every honest replica got a private host in every configuration:
+assert all(r["allocated"] for r in rows)
+
+# The paper's trade-off, visible in the measurements: Theorem 4 is the
+# faster algorithm, Theorem 3 the more tolerant one.
+t3 = min(r["rounds"] for r in rows if "Theorem 3" in r["algorithm"])
+t4 = max(r["rounds"] for r in rows if "Theorem 4" in r["algorithm"])
+print(f"\nTheorem 4 worst case ({t4} rounds) beats Theorem 3 best case ({t3} rounds): {t4 < t3}")

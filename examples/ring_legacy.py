@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The prior work, alive: ring dispersion [34, 36] vs its generalisation.
+
+The paper's Section 1.3 insight is that the ring algorithm worked
+because a robot that knows n effectively *has a map* of the ring for
+free.  This script shows both sides:
+
+1. the ring-specific algorithm dispersing n robots with n−1 Byzantine
+   fake-settlers in O(n) rounds (the prior work's headline), and
+2. the generalisation (Theorem 3) solving the same instance with no
+   ring-specific knowledge — at the price the paper quantifies.
+
+Run:  python examples/ring_legacy.py
+"""
+
+from repro import Adversary
+from repro.analysis import render_table
+from repro.baselines import solve_ring_dispersion
+from repro.core import solve_theorem3
+from repro.graphs import ring
+
+N = 12
+rows = []
+
+# Prior work: free map, maximum tolerance, linear rounds.
+rep = solve_ring_dispersion(N, f=N - 1, adversary=Adversary("ghost_squatter"))
+rows.append(
+    {
+        "algorithm": "ring prior work [34,36]",
+        "f": N - 1,
+        "rounds": rep.rounds_simulated,
+        "dispersed": rep.success,
+    }
+)
+
+# Same ring, half tolerance, general algorithm: the map must be *earned*
+# through the pairing tournament.
+rep_general = solve_theorem3(ring(N), f=N // 2 - 1, adversary=Adversary("ghost_squatter"))
+rows.append(
+    {
+        "algorithm": "Theorem 3 (general graphs)",
+        "f": N // 2 - 1,
+        "rounds": rep_general.rounds_simulated,
+        "dispersed": rep_general.success,
+    }
+)
+
+print(render_table(rows, title=f"Ring of n={N}: prior work vs generalisation"))
+assert all(r["dispersed"] for r in rows)
+ratio = rep_general.rounds_simulated / rep.rounds_simulated
+print(f"\nGeneralisation premium on the ring: {ratio:,.0f}x more rounds —")
+print("exactly the paper's message: map knowledge, however obtained, is the game.")

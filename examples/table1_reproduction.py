@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table 1 empirically.
+
+For every row: run the algorithm at its full Byzantine tolerance under a
+hostile strategy and print the measured rounds next to the paper's
+asymptotic bound (evaluated with constant 1).  This is the script whose
+output EXPERIMENTS.md quotes.
+
+Run:  python examples/table1_reproduction.py [n]
+"""
+
+import sys
+
+from repro.analysis import render_table, run_table1
+from repro.core import TABLE1
+from repro.graphs import is_quotient_isomorphic, random_connected
+
+n = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+
+for seed in range(50):
+    graph = random_connected(n, seed=seed)
+    if is_quotient_isomorphic(graph):
+        break
+else:
+    raise SystemExit("no view-distinguishable graph sampled; try another n")
+
+records = run_table1(graph, strategies=["ghost_squatter"], seed=1)
+
+# Decorate with the paper's row metadata for a table mirroring the paper's.
+by_serial = {row.serial: row for row in TABLE1}
+for rec in records:
+    row = by_serial[rec["serial"]]
+    rec["tolerance"] = row.tolerance
+    rec["note"] = row.note
+
+print(
+    render_table(
+        records,
+        columns=[
+            "serial", "theorem", "running_time", "start", "tolerance",
+            "strong", "f", "success", "rounds_simulated", "rounds_charged",
+            "paper_bound",
+        ],
+        title=(
+            f"Table 1 reproduction  (n={graph.n}, m={graph.m}, "
+            f"strategy=ghost_squatter, f at each row's bound)"
+        ),
+    )
+)
+
+failures = [r for r in records if not r["success"]]
+if failures:
+    raise SystemExit(f"reproduction FAILED for rows {[r['serial'] for r in failures]}")
+print("\nAll applicable rows reproduced: every algorithm dispersed at its bound.")

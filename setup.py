@@ -1,0 +1,16 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package.
+
+All real metadata lives in pyproject.toml; this file only exists because the
+offline environment lacks `wheel` (required for PEP 660 editable installs).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+)

@@ -1,0 +1,83 @@
+"""repro — Byzantine Dispersion on Graphs (Molla, Mondal & Moses Jr., IPDPS 2021).
+
+A full reproduction of the paper's system: an anonymous port-labeled
+graph substrate, a synchronous mobile-robot simulator with sub-round
+semantics, the complete adversary zoo (weak and strong Byzantine), all
+seven Table 1 algorithms, the Theorem 8 impossibility construction,
+prior-work baselines, and the benchmark harness that regenerates the
+paper's results table.
+
+Quick start::
+
+    from repro import solve_theorem1, Adversary
+    from repro.graphs import random_connected
+
+    g = random_connected(12, seed=1)          # view-distinguishable w.h.p.
+    report = solve_theorem1(g, f=11, adversary=Adversary("squatter"))
+    assert report.success                     # dispersed despite n-1 liars
+
+See README.md for the architecture tour, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the Table 1 reproduction.
+"""
+
+from .byzantine import (
+    STRATEGIES,
+    STRONG_STRATEGIES,
+    WEAK_STRATEGIES,
+    Adversary,
+    get_strategy,
+)
+from .core import (
+    TABLE1,
+    Table1Row,
+    demonstrate_impossibility,
+    dispersion_using_map,
+    get_row,
+    impossibility_applies,
+    solve_theorem1,
+    solve_theorem2,
+    solve_theorem3,
+    solve_theorem4,
+    solve_theorem5,
+    solve_theorem6,
+    solve_theorem7,
+)
+from .errors import (
+    ConfigurationError,
+    GraphStructureError,
+    MapError,
+    ReproError,
+    SimulationError,
+)
+from .sim import RunReport, World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "World",
+    "RunReport",
+    "Adversary",
+    "STRATEGIES",
+    "WEAK_STRATEGIES",
+    "STRONG_STRATEGIES",
+    "get_strategy",
+    "solve_theorem1",
+    "solve_theorem2",
+    "solve_theorem3",
+    "solve_theorem4",
+    "solve_theorem5",
+    "solve_theorem6",
+    "solve_theorem7",
+    "dispersion_using_map",
+    "demonstrate_impossibility",
+    "impossibility_applies",
+    "TABLE1",
+    "Table1Row",
+    "get_row",
+    "ReproError",
+    "GraphStructureError",
+    "MapError",
+    "SimulationError",
+    "ConfigurationError",
+]

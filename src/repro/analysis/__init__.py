@@ -1,0 +1,32 @@
+"""Analysis: validation, metrics, complexity fits, tables, experiment sweeps."""
+
+from .complexity import PowerFit, doubling_ratios, fit_power_law
+from .experiments import (
+    run_table1,
+    run_table1_row,
+    scaling_sweep,
+    strategy_matrix,
+    tolerance_sweep,
+)
+from .metrics import record_from_report, success_rate, summarize
+from .tables import format_big, render_table
+from .validation import dispersion_violations, is_dispersed, settlement_histogram
+
+__all__ = [
+    "PowerFit",
+    "fit_power_law",
+    "doubling_ratios",
+    "record_from_report",
+    "success_rate",
+    "summarize",
+    "render_table",
+    "format_big",
+    "dispersion_violations",
+    "is_dispersed",
+    "settlement_histogram",
+    "run_table1",
+    "run_table1_row",
+    "tolerance_sweep",
+    "scaling_sweep",
+    "strategy_matrix",
+]

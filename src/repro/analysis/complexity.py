@@ -1,0 +1,69 @@
+"""Empirical complexity estimation: polynomial orders from measurements.
+
+The paper's Table 1 reports asymptotic round bounds; the scaling
+benchmark checks our measured rounds *grow like* those bounds by fitting
+``rounds ≈ c·n^α`` on log–log axes and comparing α against the stated
+exponent.  Ordinary least squares on ``log`` values is entirely adequate
+at simulation scale (guides: prefer the simple correct method, then
+profile).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["PowerFit", "fit_power_law", "doubling_ratios"]
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Result of fitting ``y = c·x^alpha`` by log–log least squares.
+
+    ``r2`` is the coefficient of determination in log space — how much of
+    the variance a pure power law explains.
+    """
+
+    alpha: float
+    log_c: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        """Model prediction at ``x``."""
+        return math.exp(self.log_c) * x**self.alpha
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerFit:
+    """Fit exponent ``alpha`` of ``y ~ x^alpha`` from positive samples."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ConfigurationError("need at least two (x, y) samples")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ConfigurationError("power-law fitting needs positive values")
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    alpha, log_c = np.polyfit(lx, ly, 1)
+    pred = alpha * lx + log_c
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerFit(alpha=float(alpha), log_c=float(log_c), r2=r2)
+
+
+def doubling_ratios(xs: Sequence[float], ys: Sequence[float]) -> List[Tuple[float, float]]:
+    """Consecutive growth ratios ``(x_{i+1}/x_i, y_{i+1}/y_i)``.
+
+    A quick, fit-free shape check: for ``y ~ x^α``, doubling ``x``
+    multiplies ``y`` by ``2^α``.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must align")
+    return [
+        (xs[i + 1] / xs[i], ys[i + 1] / ys[i])
+        for i in range(len(xs) - 1)
+        if xs[i] > 0 and ys[i] > 0
+    ]

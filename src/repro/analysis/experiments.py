@@ -1,0 +1,146 @@
+"""Experiment sweeps: the code behind every benchmark table and figure.
+
+Each function returns a list of flat records (see
+:mod:`repro.analysis.metrics`) that the benchmarks print via
+:mod:`repro.analysis.tables` and EXPERIMENTS.md quotes.  Keeping sweeps
+here — not in the benchmark files — makes them unit-testable and
+reusable from the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..byzantine.adversary import Adversary
+from ..core.runner import TABLE1, Table1Row, row_applicable
+from ..graphs.port_labeled import PortLabeledGraph
+from .metrics import record_from_report
+
+__all__ = [
+    "run_table1_row",
+    "run_table1",
+    "tolerance_sweep",
+    "scaling_sweep",
+    "strategy_matrix",
+]
+
+
+def run_table1_row(
+    row: Table1Row,
+    graph: PortLabeledGraph,
+    strategies: Sequence[str],
+    seed: int = 0,
+    f: Optional[int] = None,
+) -> List[Dict]:
+    """Run one Table 1 row at its tolerance bound under several strategies."""
+    f_used = row.f_max(graph) if f is None else f
+    records = []
+    for strat in strategies:
+        report = row.solver(
+            graph, f=f_used, adversary=Adversary(strat, seed=seed), seed=seed
+        )
+        records.append(
+            record_from_report(
+                report,
+                serial=row.serial,
+                theorem=row.theorem,
+                running_time=row.running_time,
+                start=row.start,
+                strong=row.strong,
+                strategy=strat,
+                f=f_used,
+                n=graph.n,
+                paper_bound=row.paper_bound(graph, f_used),
+            )
+        )
+    return records
+
+
+def run_table1(
+    graph: PortLabeledGraph,
+    strategies: Sequence[str],
+    seed: int = 0,
+    serials: Optional[Sequence[int]] = None,
+) -> List[Dict]:
+    """Reproduce every applicable Table 1 row on one graph."""
+    records: List[Dict] = []
+    for row in TABLE1:
+        if serials is not None and row.serial not in serials:
+            continue
+        if not row_applicable(row, graph):
+            continue
+        records.extend(run_table1_row(row, graph, strategies, seed=seed))
+    return records
+
+
+def tolerance_sweep(
+    row: Table1Row,
+    graph: PortLabeledGraph,
+    f_values: Sequence[int],
+    strategy: str,
+    seed: int = 0,
+) -> List[Dict]:
+    """Success vs ``f`` for one algorithm (at, below, and — where the
+    driver allows — beyond its bound; out-of-range values are recorded as
+    ``rejected`` instead of run)."""
+    records = []
+    for f in f_values:
+        try:
+            report = row.solver(
+                graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
+            )
+            rec = record_from_report(
+                report, serial=row.serial, theorem=row.theorem, f=f,
+                n=graph.n, strategy=strategy, rejected=False,
+            )
+        except Exception as exc:  # driver enforces the theorem's bound
+            rec = dict(
+                serial=row.serial, theorem=row.theorem, f=f, n=graph.n,
+                strategy=strategy, rejected=True, success=False,
+                rounds_simulated=0, rounds_charged=0, rounds_total=0,
+                n_violations=0, reason=type(exc).__name__,
+            )
+        records.append(rec)
+    return records
+
+
+def scaling_sweep(
+    row: Table1Row,
+    graphs: Sequence[PortLabeledGraph],
+    strategy: str,
+    seed: int = 0,
+    f_fraction_of_max: float = 1.0,
+) -> List[Dict]:
+    """Measured rounds vs ``n`` across a graph family, at a fixed fraction
+    of the row's tolerance (for power-law fitting against the bound)."""
+    records = []
+    for graph in graphs:
+        if not row_applicable(row, graph):
+            continue
+        f = int(row.f_max(graph) * f_fraction_of_max)
+        report = row.solver(
+            graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
+        )
+        records.append(
+            record_from_report(
+                report, serial=row.serial, theorem=row.theorem, f=f,
+                n=graph.n, m=graph.m, strategy=strategy,
+                paper_bound=row.paper_bound(graph, f),
+            )
+        )
+    return records
+
+
+def strategy_matrix(
+    rows: Sequence[Table1Row],
+    graph: PortLabeledGraph,
+    strategies: Sequence[str],
+    seed: int = 0,
+) -> List[Dict]:
+    """Algorithms × strategies grid at each row's tolerance bound."""
+    records: List[Dict] = []
+    for row in rows:
+        if not row_applicable(row, graph):
+            continue
+        records.extend(run_table1_row(row, graph, strategies, seed=seed))
+    return records

@@ -1,0 +1,62 @@
+"""Aggregation of run results into experiment records.
+
+A *record* is a flat dict (easy to tabulate / serialise) describing one
+run: configuration keys plus outcome metrics.  Sweeps in
+:mod:`repro.analysis.experiments` produce lists of records; the tables
+module renders them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..sim.scheduler import RunReport
+
+__all__ = ["record_from_report", "success_rate", "summarize"]
+
+
+def record_from_report(report: RunReport, **config) -> Dict:
+    """Flatten a :class:`RunReport` plus its configuration into a record."""
+    rec = dict(config)
+    rec.update(
+        success=report.success,
+        rounds_simulated=report.rounds_simulated,
+        rounds_charged=report.rounds_charged,
+        rounds_total=report.rounds_total,
+        n_violations=len(report.violations),
+    )
+    for key in ("theorem", "f", "n", "strategy"):
+        if key in report.meta and key not in rec:
+            rec[key] = report.meta[key]
+    return rec
+
+
+def success_rate(records: Iterable[Dict]) -> float:
+    """Fraction of records with ``success=True`` (1.0 for empty input)."""
+    records = list(records)
+    if not records:
+        return 1.0
+    return sum(1 for r in records if r.get("success")) / len(records)
+
+
+def summarize(records: List[Dict], group_by: str) -> List[Dict]:
+    """Group records by a key; report success rate and round statistics."""
+    groups: Dict = {}
+    for r in records:
+        groups.setdefault(r.get(group_by), []).append(r)
+    out = []
+    for key in sorted(groups, key=lambda k: (str(type(k)), k)):
+        rs = groups[key]
+        sims = [r["rounds_simulated"] for r in rs]
+        totals = [r["rounds_total"] for r in rs]
+        out.append(
+            {
+                group_by: key,
+                "runs": len(rs),
+                "success_rate": success_rate(rs),
+                "rounds_simulated_mean": sum(sims) / len(sims),
+                "rounds_simulated_max": max(sims),
+                "rounds_total_mean": sum(totals) / len(totals),
+            }
+        )
+    return out

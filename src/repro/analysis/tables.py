@@ -1,0 +1,57 @@
+"""Plain-text table rendering (benchmark output mirrors the paper's Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_big"]
+
+
+def format_big(x) -> str:
+    """Compact formatting for possibly astronomical round counts.
+
+    Charged bounds like the Theorem 7 gathering are exact Python ints far
+    beyond float range; render them as powers of ten instead of overflowing.
+    """
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        return str(x)
+    if isinstance(x, float):
+        return f"{x:.3g}"
+    if x == 0:
+        return "0"
+    digits = len(str(abs(x)))
+    if digits <= 9:
+        return f"{x:,}"
+    lead = str(abs(x))[:4]
+    mant = f"{lead[0]}.{lead[1:]}"
+    sign = "-" if x < 0 else ""
+    return f"{sign}{mant}e{digits - 1}"
+
+
+def render_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for r in rows:
+            for k in r:
+                if k not in columns:
+                    columns.append(k)
+    cells = [[format_big(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells)) if cells else len(str(c))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Standalone validation of dispersion configurations.
+
+:func:`repro.sim.scheduler.finish_report` validates live worlds; these
+helpers validate plain ``robot -> node`` mappings, so tests and the
+impossibility construction can check configurations without a world.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["dispersion_violations", "is_dispersed", "settlement_histogram"]
+
+
+def settlement_histogram(settled: Dict[int, Optional[int]]) -> Dict[int, List[int]]:
+    """Group settled robot IDs by node (``None`` positions are skipped)."""
+    by_node: Dict[int, List[int]] = {}
+    for rid, node in settled.items():
+        if node is not None:
+            by_node.setdefault(node, []).append(rid)
+    return {node: sorted(rids) for node, rids in by_node.items()}
+
+
+def dispersion_violations(
+    settled: Dict[int, Optional[int]],
+    honest_cap: int = 1,
+    require_all_settled: bool = True,
+) -> List[str]:
+    """All reasons this configuration fails (modified) Byzantine dispersion.
+
+    ``settled`` maps **honest** robot IDs to nodes (``None`` = unsettled).
+    ``honest_cap`` is ``⌈(k−f)/n⌉`` in the Section 5 variant, 1 otherwise.
+    """
+    if honest_cap < 1:
+        raise ConfigurationError("honest_cap must be >= 1")
+    violations: List[str] = []
+    if require_all_settled:
+        unsettled = sorted(rid for rid, node in settled.items() if node is None)
+        if unsettled:
+            violations.append(f"unsettled honest robots: {unsettled}")
+    for node, rids in sorted(settlement_histogram(settled).items()):
+        if len(rids) > honest_cap:
+            violations.append(
+                f"node {node} hosts {len(rids)} honest settlers (cap {honest_cap}): {rids}"
+            )
+    return violations
+
+
+def is_dispersed(
+    settled: Dict[int, Optional[int]],
+    honest_cap: int = 1,
+) -> bool:
+    """True iff the configuration satisfies (modified) Byzantine dispersion."""
+    return not dispersion_violations(settled, honest_cap=honest_cap)

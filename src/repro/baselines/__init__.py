@@ -1,0 +1,14 @@
+"""Baseline algorithms: non-Byzantine DFS, prior-work ring, random scatter."""
+
+from .dfs_dispersion import dfs_dispersion_program, dfs_rounds_bound, solve_dfs_baseline
+from .random_dispersion import random_rounds_budget, solve_random_baseline
+from .ring_dispersion import solve_ring_dispersion
+
+__all__ = [
+    "solve_dfs_baseline",
+    "dfs_dispersion_program",
+    "dfs_rounds_bound",
+    "solve_ring_dispersion",
+    "solve_random_baseline",
+    "random_rounds_budget",
+]

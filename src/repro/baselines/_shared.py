@@ -1,0 +1,25 @@
+"""Small shared checks for baseline algorithms."""
+
+from __future__ import annotations
+
+from ..errors import GraphStructureError
+from ..graphs.port_labeled import PortLabeledGraph
+
+__all__ = ["check_canonical_ring"]
+
+
+def check_canonical_ring(graph: PortLabeledGraph) -> None:
+    """Assert the canonical symmetric ring labeling (port 1 = clockwise).
+
+    The ring baseline's "free map" is only sound under this labeling;
+    anything else must go through the general algorithms.
+    """
+    n = graph.n
+    for u in range(n):
+        if graph.degree(u) != 2:
+            raise GraphStructureError("not a ring: node degree != 2")
+        nxt, back = graph.traverse(u, 1)
+        if nxt != (u + 1) % n or back != 2:
+            raise GraphStructureError(
+                "ring baseline requires the canonical symmetric port labeling"
+            )

@@ -1,0 +1,22 @@
+"""Byzantine adversary: corrupted-robot selection and behaviour strategies."""
+
+from .adversary import Adversary, choose_byzantine_ids
+from .strategies import (
+    STRATEGIES,
+    STRONG_STRATEGIES,
+    WEAK_STRATEGIES,
+    Strategy,
+    get_strategy,
+    sleeper,
+)
+
+__all__ = [
+    "Adversary",
+    "choose_byzantine_ids",
+    "STRATEGIES",
+    "WEAK_STRATEGIES",
+    "STRONG_STRATEGIES",
+    "Strategy",
+    "get_strategy",
+    "sleeper",
+]

@@ -1,0 +1,97 @@
+"""Adversary controller: which robots are Byzantine and how they behave.
+
+An :class:`Adversary` bundles (a) the choice of which robot IDs are
+corrupted and (b) a strategy assignment, and hands the drivers ready
+program factories.  Keeping this in one object makes experiment configs
+serialisable and sweeps trivial (`analysis.experiments` iterates
+adversaries the way it iterates graph families).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.robot import Action, ByzantineAPI
+from .strategies import Strategy, get_strategy
+
+__all__ = ["Adversary", "choose_byzantine_ids"]
+
+
+def choose_byzantine_ids(
+    ids: Sequence[int],
+    f: int,
+    placement: str = "lowest",
+    seed: Optional[int] = None,
+) -> List[int]:
+    """Select which ``f`` of ``ids`` the adversary corrupts.
+
+    ``lowest`` (default) corrupts the smallest IDs — adversarially strong
+    for Dispersion-Using-Map because small IDs win Step 1 minimality and
+    act in the earliest sub-rounds.  ``highest`` and ``random`` cover the
+    other regimes.
+    """
+    if not (0 <= f <= len(ids)):
+        raise ConfigurationError(f"f={f} out of range for {len(ids)} robots")
+    ordered = sorted(ids)
+    if placement == "lowest":
+        return ordered[:f]
+    if placement == "highest":
+        return ordered[-f:] if f else []
+    if placement == "random":
+        rng = np.random.default_rng(seed)
+        return sorted(int(x) for x in rng.choice(ordered, size=f, replace=False))
+    raise ConfigurationError(f"unknown placement {placement!r}")
+
+
+class Adversary:
+    """A strategy assignment for the corrupted robots.
+
+    Parameters
+    ----------
+    strategy:
+        A registry name, a strategy callable, or a mapping
+        ``true_id -> name-or-callable`` for heterogeneous assignments.
+    seed:
+        Seeds the per-robot RNG streams (each robot gets an independent
+        child stream, so runs are reproducible regardless of scheduling).
+    """
+
+    def __init__(
+        self,
+        strategy: Union[str, Strategy, Dict[int, Union[str, Strategy]]] = "squatter",
+        seed: int = 0,
+    ):
+        self._strategy = strategy
+        self._seed = seed
+
+    def describe(self) -> str:
+        """Human-readable strategy summary (for reports and benchmarks)."""
+        if isinstance(self._strategy, str):
+            return self._strategy
+        if isinstance(self._strategy, dict):
+            parts = sorted(
+                f"{rid}:{getattr(s, '__name__', s)}" for rid, s in self._strategy.items()
+            )
+            return "{" + ",".join(parts) + "}"
+        return getattr(self._strategy, "__name__", repr(self._strategy))
+
+    def _resolve(self, true_id: int) -> Strategy:
+        s = self._strategy
+        if isinstance(s, dict):
+            s = s.get(true_id, "idle")
+        if isinstance(s, str):
+            return get_strategy(s)
+        return s
+
+    def program_factory(self, true_id: int) -> Callable[[ByzantineAPI], Iterator[Action]]:
+        """Build the world-ready program factory for robot ``true_id``."""
+        strategy = self._resolve(true_id)
+        rng = np.random.default_rng((self._seed, true_id))
+
+        def factory(api: ByzantineAPI) -> Iterator[Action]:
+            return strategy(api, rng)
+
+        return factory

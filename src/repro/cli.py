@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``       regenerate the paper's Table 1 on a random graph
+``run``          run one Table 1 row with explicit parameters
+``tolerance``    sweep f for one row
+``impossible``   run the Theorem 8 construction
+``strategies``   list the adversary zoo
+
+Examples::
+
+    python -m repro table1 --n 10 --strategy ghost_squatter
+    python -m repro run --row 4 --n 9 --f 3 --strategy squatter
+    python -m repro tolerance --row 5 --n 9
+    python -m repro impossible --n 6 --k 12 --f 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import render_table, run_table1, tolerance_sweep
+from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
+from .core import demonstrate_impossibility, get_row
+from .graphs import is_quotient_isomorphic, random_connected
+
+__all__ = ["main"]
+
+
+def _sample_graph(n: int, require_view_distinct: bool, seed: int):
+    for s in range(seed, seed + 100):
+        g = random_connected(n, seed=s)
+        if not require_view_distinct or is_quotient_isomorphic(g):
+            return g
+    raise SystemExit(f"could not sample a suitable graph with n={n}")
+
+
+def _cmd_table1(args) -> int:
+    graph = _sample_graph(args.n, require_view_distinct=True, seed=args.seed)
+    records = run_table1(graph, strategies=[args.strategy], seed=args.seed)
+    print(
+        render_table(
+            records,
+            columns=[
+                "serial", "theorem", "running_time", "start", "strong", "f",
+                "success", "rounds_simulated", "rounds_charged", "paper_bound",
+            ],
+            title=f"Table 1 reproduction (n={graph.n}, m={graph.m}, strategy={args.strategy})",
+        )
+    )
+    return 0 if all(r["success"] for r in records) else 1
+
+
+def _cmd_run(args) -> int:
+    row = get_row(args.row)
+    graph = _sample_graph(args.n, require_view_distinct=(args.row == 1), seed=args.seed)
+    f = row.f_max(graph) if args.f is None else args.f
+    report = row.solver(
+        graph, f=f, adversary=Adversary(args.strategy, seed=args.seed), seed=args.seed
+    )
+    print(f"row {row.serial} (Theorem {row.theorem}), n={graph.n}, f={f}, "
+          f"strategy={args.strategy}")
+    print(f"  success          : {report.success}")
+    print(f"  simulated rounds : {report.rounds_simulated:,}")
+    print(f"  charged rounds   : {report.rounds_charged:,}")
+    for label, rounds in report.phases:
+        print(f"    - {label}: {rounds:,}")
+    if report.violations:
+        for v in report.violations:
+            print(f"  violation        : {v}")
+    return 0 if report.success else 1
+
+
+def _cmd_tolerance(args) -> int:
+    row = get_row(args.row)
+    graph = _sample_graph(args.n, require_view_distinct=(args.row == 1), seed=args.seed)
+    f_max = row.f_max(graph)
+    fs = list(range(0, min(f_max + 3, graph.n)))
+    records = tolerance_sweep(row, graph, fs, args.strategy, seed=args.seed)
+    print(
+        render_table(
+            records,
+            columns=["f", "rejected", "success", "rounds_simulated", "rounds_total"],
+            title=f"Tolerance sweep, row {row.serial} (bound f<={f_max}), n={graph.n}",
+        )
+    )
+    return 0
+
+
+def _cmd_impossible(args) -> int:
+    graph = _sample_graph(args.n, require_view_distinct=False, seed=args.seed)
+    rep = demonstrate_impossibility(graph, k=args.k, f=args.f, seed=args.seed)
+    print(f"n={rep.n} k={rep.k} f={rep.f}")
+    print(f"  ceil(k/n)={rep.cap_all}  ceil((k-f)/n)={rep.cap_required}")
+    print(f"  Theorem 8 applies : {rep.applies}")
+    print(f"  violation shown   : {rep.violated}"
+          f"  ({rep.honest_at_crowded} honest robots on node {rep.crowded_node})")
+    return 0
+
+
+def _cmd_strategies(args) -> int:
+    print("weak-model strategies  :", ", ".join(WEAK_STRATEGIES))
+    print("strong-model additions :",
+          ", ".join(s for s in STRONG_STRATEGIES if s not in WEAK_STRATEGIES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Byzantine Dispersion on Graphs (IPDPS 2021) — reproduction CLI",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    t1.add_argument("--n", type=int, default=9)
+    t1.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
+    t1.add_argument("--seed", type=int, default=0)
+    t1.set_defaults(func=_cmd_table1)
+
+    run = sub.add_parser("run", help="run one Table 1 row")
+    run.add_argument("--row", type=int, required=True, choices=range(1, 8))
+    run.add_argument("--n", type=int, default=9)
+    run.add_argument("--f", type=int, default=None, help="defaults to the row's bound")
+    run.add_argument("--strategy", default="squatter", choices=sorted(STRATEGIES))
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    tol = sub.add_parser("tolerance", help="sweep f for one row")
+    tol.add_argument("--row", type=int, required=True, choices=range(1, 8))
+    tol.add_argument("--n", type=int, default=9)
+    tol.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
+    tol.add_argument("--seed", type=int, default=0)
+    tol.set_defaults(func=_cmd_tolerance)
+
+    imp = sub.add_parser("impossible", help="run the Theorem 8 construction")
+    imp.add_argument("--n", type=int, default=6)
+    imp.add_argument("--k", type=int, default=12)
+    imp.add_argument("--f", type=int, default=6)
+    imp.add_argument("--seed", type=int, default=0)
+    imp.set_defaults(func=_cmd_impossible)
+
+    ls = sub.add_parser("strategies", help="list the adversary zoo")
+    ls.set_defaults(func=_cmd_strategies)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's algorithms: Theorems 1–8 and the Table 1 registry."""
+
+from .dispersion_using_map import (
+    DispersionMemory,
+    dispersion_rounds_bound,
+    dispersion_using_map,
+)
+from .find_map import find_map_rounds, private_quotient_map
+from .general_graphs import (
+    solve_theorem2,
+    solve_theorem3,
+    solve_theorem4,
+    solve_theorem5,
+    tick_budget_for,
+)
+from .impossibility import (
+    ImpossibilityReport,
+    demonstrate_impossibility,
+    impossibility_applies,
+)
+from .k_robots import solve_k_robots
+from .phases import pairing_phase, rank_dispersion_phase, roster_phase
+from .quotient_algorithm import solve_theorem1, theorem1_round_bound
+from .runner import TABLE1, Table1Row, get_row, row_applicable
+from .strong_byzantine import solve_theorem6, solve_theorem7
+
+__all__ = [
+    "dispersion_using_map",
+    "DispersionMemory",
+    "dispersion_rounds_bound",
+    "find_map_rounds",
+    "private_quotient_map",
+    "solve_theorem1",
+    "theorem1_round_bound",
+    "solve_theorem2",
+    "solve_theorem3",
+    "solve_theorem4",
+    "solve_theorem5",
+    "solve_theorem6",
+    "solve_theorem7",
+    "solve_k_robots",
+    "tick_budget_for",
+    "roster_phase",
+    "pairing_phase",
+    "rank_dispersion_phase",
+    "demonstrate_impossibility",
+    "impossibility_applies",
+    "ImpossibilityReport",
+    "TABLE1",
+    "Table1Row",
+    "get_row",
+    "row_applicable",
+]

@@ -1,0 +1,117 @@
+"""Shared driver plumbing: placements, populations, common validation.
+
+Every theorem driver in :mod:`repro.core` goes through these helpers so
+experiment configuration (who is Byzantine, where robots start, which
+strategy runs) is uniform across algorithms and sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..byzantine.adversary import Adversary, choose_byzantine_ids
+from ..errors import ConfigurationError
+from ..graphs.port_labeled import PortLabeledGraph
+from ..sim.ids import assign_ids, validate_ids
+
+__all__ = ["Population", "build_population", "make_placement"]
+
+
+def make_placement(
+    graph: PortLabeledGraph,
+    ids: Sequence[int],
+    start: Union[str, int, Dict[int, int]],
+    seed: int = 0,
+) -> Dict[int, int]:
+    """Resolve a start specification into ``true_id -> node``.
+
+    * ``"arbitrary"`` — independent uniform nodes (robots may share).
+    * ``"gathered"`` or an ``int`` node — everyone on one node.
+    * ``"spread"`` — distinct nodes round-robin (needs ``len(ids) <= n``).
+    * explicit dict — used as-is after validation.
+    """
+    n = graph.n
+    if isinstance(start, dict):
+        for rid, node in start.items():
+            if not (0 <= node < n):
+                raise ConfigurationError(f"placement of robot {rid}: node {node} out of range")
+        missing = set(ids) - set(start)
+        if missing:
+            raise ConfigurationError(f"placement missing robots: {sorted(missing)}")
+        return {rid: start[rid] for rid in ids}
+    if isinstance(start, int):
+        if not (0 <= start < n):
+            raise ConfigurationError(f"gather node {start} out of range")
+        return {rid: start for rid in ids}
+    if start == "gathered":
+        return {rid: 0 for rid in ids}
+    if start == "arbitrary":
+        rng = np.random.default_rng(seed)
+        return {rid: int(rng.integers(0, n)) for rid in ids}
+    if start == "spread":
+        if len(ids) > n:
+            raise ConfigurationError("spread placement needs at most n robots")
+        return {rid: i for i, rid in enumerate(sorted(ids))}
+    raise ConfigurationError(f"unknown start spec {start!r}")
+
+
+class Population:
+    """Resolved robot population for one run.
+
+    Attributes
+    ----------
+    ids / honest_ids / byz_ids:
+        All, honest-only, Byzantine-only true IDs (ascending).
+    placement:
+        ``true_id -> start node``.
+    adversary:
+        The :class:`~repro.byzantine.adversary.Adversary` controlling the
+        corrupted robots.
+    """
+
+    def __init__(
+        self,
+        ids: List[int],
+        byz_ids: List[int],
+        placement: Dict[int, int],
+        adversary: Adversary,
+    ):
+        self.ids = sorted(ids)
+        self.byz_ids = sorted(byz_ids)
+        self.honest_ids = sorted(set(ids) - set(byz_ids))
+        self.placement = placement
+        self.adversary = adversary
+
+    @property
+    def f(self) -> int:
+        return len(self.byz_ids)
+
+
+def build_population(
+    graph: PortLabeledGraph,
+    f: int,
+    start: Union[str, int, Dict[int, int]] = "arbitrary",
+    adversary: Optional[Adversary] = None,
+    n_robots: Optional[int] = None,
+    byz_placement: str = "lowest",
+    id_seed: Optional[int] = None,
+    seed: int = 0,
+) -> Population:
+    """Standard population for the paper's setting: ``n`` robots, ``f`` Byzantine.
+
+    ``n_robots`` defaults to ``graph.n`` (the paper's primary regime);
+    Section 5 experiments override it.
+    """
+    k = n_robots if n_robots is not None else graph.n
+    ids = assign_ids(k, n_nodes=graph.n, seed=id_seed)
+    validate_ids(ids, graph.n)
+    byz_ids = choose_byzantine_ids(ids, f, placement=byz_placement, seed=seed)
+    placement = make_placement(graph, ids, start, seed=seed)
+    return Population(
+        ids=ids,
+        byz_ids=byz_ids,
+        placement=placement,
+        adversary=adversary if adversary is not None else Adversary(seed=seed),
+    )

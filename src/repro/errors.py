@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphStructureError(ReproError):
+    """An operation received a graph violating a structural requirement.
+
+    Examples: non-contiguous port labels, a disconnected graph handed to an
+    algorithm that requires connectivity, or a multigraph where a simple
+    graph is expected.
+    """
+
+
+class PortError(GraphStructureError):
+    """A port number is out of range or does not exist at a node."""
+
+
+class MapError(ReproError):
+    """A robot's private map is inconsistent with an attempted operation.
+
+    Raised e.g. when navigating a map path through an unexplored port or
+    when a map exceeds ``n`` nodes (which honest robots treat as proof of
+    Byzantine interference, per the paper's round-budget argument,
+    footnote 11).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator detected an illegal action or inconsistent state."""
+
+
+class ProtocolViolation(SimulationError):
+    """An honest robot program attempted something the model forbids.
+
+    Honest programs must play by the rules (only Byzantine strategies may
+    deviate); tripping this exception in a test indicates a bug in an
+    honest program, never legitimate adversarial behaviour.
+    """
+
+
+class RoundLimitExceeded(SimulationError):
+    """A simulation ran past its configured safety round budget.
+
+    Every entry point takes an explicit or derived ``max_rounds``; hitting
+    it means the algorithm failed to terminate within its theoretical
+    bound (times a safety factor) and is reported as a failure rather than
+    hanging the test suite.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment configuration (e.g. f out of range, bad IDs)."""
+
+
+class ImpossibleInstance(ConfigurationError):
+    """The requested instance is provably unsolvable (Theorem 8 regime)."""

@@ -1,0 +1,78 @@
+"""Graph substrate: anonymous port-labeled graphs, views, quotients, maps.
+
+Public surface of :mod:`repro.graphs`; see the individual modules for the
+theory references.  Everything the simulator and the paper's algorithms
+know about graphs flows through these exports.
+"""
+
+from .exploration import (
+    DEFAULT_COST_MODEL,
+    ExplorationCostModel,
+    exploration_rounds,
+    id_length_bits,
+    random_walk_cover,
+)
+from .generators import (
+    FAMILIES,
+    clique,
+    complete_bipartite,
+    erdos_renyi,
+    hypercube,
+    lollipop,
+    path,
+    random_connected,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+from .isomorphism import (
+    are_isomorphic,
+    canonical_form,
+    canonical_forms_all_roots,
+    find_isomorphism,
+    rooted_isomorphic,
+)
+from .port_labeled import PortLabeledGraph
+from .quotient import QuotientGraph, is_quotient_isomorphic, quotient_graph
+from .traversal import TourStep, bfs_order, euler_tour, navigate, path_nodes
+from .views import truncated_view, view_partition, view_signature
+
+__all__ = [
+    "PortLabeledGraph",
+    "QuotientGraph",
+    "quotient_graph",
+    "is_quotient_isomorphic",
+    "view_partition",
+    "view_signature",
+    "truncated_view",
+    "canonical_form",
+    "canonical_forms_all_roots",
+    "rooted_isomorphic",
+    "are_isomorphic",
+    "find_isomorphism",
+    "TourStep",
+    "euler_tour",
+    "navigate",
+    "bfs_order",
+    "path_nodes",
+    "ExplorationCostModel",
+    "DEFAULT_COST_MODEL",
+    "exploration_rounds",
+    "random_walk_cover",
+    "id_length_bits",
+    "ring",
+    "path",
+    "clique",
+    "star",
+    "hypercube",
+    "torus",
+    "random_regular",
+    "erdos_renyi",
+    "random_tree",
+    "lollipop",
+    "complete_bipartite",
+    "random_connected",
+    "FAMILIES",
+]

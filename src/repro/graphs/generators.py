@@ -1,0 +1,230 @@
+"""Graph families used throughout the paper's setting and our benchmarks.
+
+Every generator returns a connected :class:`~repro.graphs.port_labeled.
+PortLabeledGraph`.  Families were chosen to cover the regimes the paper
+cares about:
+
+* **ring** — the setting of the prior work [34, 36] this paper extends;
+  also the worst case for view-distinguishability (a ring's quotient graph
+  has a single node for the canonical port labeling).
+* **clique / hypercube / torus** — vertex-transitive families: quotient
+  graphs collapse, so Theorem 1 does *not* apply; exercised by tests of
+  :func:`repro.graphs.quotient.is_quotient_isomorphic`.
+* **random regular / Erdős–Rényi / random tree / lollipop** — asymmetric
+  families: almost surely all views are distinct, so Theorem 1 *does*
+  apply; these are the Table-1 row-1 workloads.
+* **path, star, complete bipartite** — edge cases for traversal code
+  (degree-1 nodes, hub nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ConfigurationError
+from .port_labeled import PortLabeledGraph
+
+__all__ = [
+    "ring",
+    "path",
+    "clique",
+    "star",
+    "hypercube",
+    "torus",
+    "random_regular",
+    "erdos_renyi",
+    "random_tree",
+    "lollipop",
+    "complete_bipartite",
+    "random_connected",
+    "FAMILIES",
+]
+
+
+def _rng(seed: Optional[int]):
+    return None if seed is None else np.random.default_rng(seed)
+
+
+def ring(n: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """Cycle on ``n >= 3`` nodes.
+
+    With ``seed=None`` the port labeling is the canonical symmetric one
+    (port 1 = clockwise, port 2 = counter-clockwise at every node), making
+    the ring vertex-transitive as a port-labeled graph — its quotient graph
+    collapses to a single node, the worst case for Theorem 1.  A seeded
+    labeling scrambles ports per node, usually breaking the symmetry.
+    """
+    if n < 3:
+        raise ConfigurationError("ring needs n >= 3")
+    if seed is not None:
+        return PortLabeledGraph.from_networkx(nx.cycle_graph(n), rng=_rng(seed))
+    table = {
+        u: {1: ((u + 1) % n, 2), 2: ((u - 1) % n, 1)}
+        for u in range(n)
+    }
+    return PortLabeledGraph(table)
+
+
+def path(n: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """Path on ``n >= 2`` nodes (degree-1 endpoints)."""
+    if n < 2:
+        raise ConfigurationError("path needs n >= 2")
+    return PortLabeledGraph.from_networkx(nx.path_graph(n), rng=_rng(seed))
+
+
+def clique(n: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """Complete graph on ``n >= 2`` nodes.
+
+    With ``seed=None`` the labeling is circulant: at node ``u``, port ``p``
+    leads to ``(u + p) mod n`` (arriving through port ``n − p``), which is
+    vertex-transitive — all views coincide, quotient collapses to one node.
+    """
+    if n < 2:
+        raise ConfigurationError("clique needs n >= 2")
+    if seed is not None:
+        return PortLabeledGraph.from_networkx(nx.complete_graph(n), rng=_rng(seed))
+    table = {
+        u: {p: ((u + p) % n, n - p) for p in range(1, n)}
+        for u in range(n)
+    }
+    return PortLabeledGraph(table)
+
+
+def star(n: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """Star: one hub, ``n - 1`` leaves."""
+    if n < 2:
+        raise ConfigurationError("star needs n >= 2")
+    return PortLabeledGraph.from_networkx(nx.star_graph(n - 1), rng=_rng(seed))
+
+
+def hypercube(dim: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """Hypercube of dimension ``dim`` (``2**dim`` nodes).
+
+    With ``seed=None``, port ``p`` flips bit ``p − 1`` (dimension-labeled,
+    same port on both endpoints) — vertex-transitive, quotient collapses.
+    """
+    if dim < 1:
+        raise ConfigurationError("hypercube needs dim >= 1")
+    if seed is not None:
+        g = nx.convert_node_labels_to_integers(nx.hypercube_graph(dim), ordering="sorted")
+        return PortLabeledGraph.from_networkx(g, rng=_rng(seed))
+    n = 1 << dim
+    table = {
+        u: {p: (u ^ (1 << (p - 1)), p) for p in range(1, dim + 1)}
+        for u in range(n)
+    }
+    return PortLabeledGraph(table)
+
+
+def torus(rows: int, cols: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """2-D torus grid ``rows x cols`` (``rows, cols >= 3``).
+
+    With ``seed=None``, ports are direction-labeled (1=+row, 2=−row,
+    3=+col, 4=−col at every node) — vertex-transitive, quotient collapses.
+    """
+    if rows < 3 or cols < 3:
+        raise ConfigurationError("torus needs rows, cols >= 3")
+    if seed is not None:
+        g = nx.convert_node_labels_to_integers(
+            nx.grid_2d_graph(rows, cols, periodic=True), ordering="sorted"
+        )
+        return PortLabeledGraph.from_networkx(g, rng=_rng(seed))
+
+    def idx(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    table = {}
+    for r in range(rows):
+        for c in range(cols):
+            table[idx(r, c)] = {
+                1: (idx(r + 1, c), 2),
+                2: (idx(r - 1, c), 1),
+                3: (idx(r, c + 1), 4),
+                4: (idx(r, c - 1), 3),
+            }
+    return PortLabeledGraph(table)
+
+
+def random_regular(n: int, d: int, seed: int = 0) -> PortLabeledGraph:
+    """Connected random ``d``-regular graph (retries until connected)."""
+    if n * d % 2 != 0 or d >= n:
+        raise ConfigurationError(f"no {d}-regular graph on {n} nodes")
+    for attempt in range(64):
+        g = nx.random_regular_graph(d, n, seed=seed + attempt)
+        if nx.is_connected(g):
+            return PortLabeledGraph.from_networkx(g, rng=_rng(seed))
+    raise ConfigurationError(f"could not sample connected {d}-regular graph on {n} nodes")
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> PortLabeledGraph:
+    """Connected G(n, p) (resampled until connected; p is bumped on failure)."""
+    prob = p
+    for attempt in range(64):
+        g = nx.gnp_random_graph(n, prob, seed=seed + attempt)
+        if nx.is_connected(g):
+            return PortLabeledGraph.from_networkx(g, rng=_rng(seed))
+        prob = min(1.0, prob * 1.25)
+    raise ConfigurationError(f"could not sample connected G({n},{p})")
+
+
+def random_tree(n: int, seed: int = 0) -> PortLabeledGraph:
+    """Uniform random labeled tree on ``n`` nodes (Prüfer sampling)."""
+    if n < 2:
+        raise ConfigurationError("random_tree needs n >= 2")
+    rng = np.random.default_rng(seed)
+    if n == 2:
+        return PortLabeledGraph.from_edges(2, [(0, 1)])
+    prufer = [int(rng.integers(0, n)) for _ in range(n - 2)]
+    g = nx.from_prufer_sequence(prufer)
+    return PortLabeledGraph.from_networkx(g, rng=rng)
+
+
+def lollipop(clique_n: int, path_n: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """Lollipop graph: a clique glued to a path (classic cover-time worst case)."""
+    if clique_n < 3 or path_n < 1:
+        raise ConfigurationError("lollipop needs clique_n >= 3, path_n >= 1")
+    g = nx.lollipop_graph(clique_n, path_n)
+    return PortLabeledGraph.from_networkx(g, rng=_rng(seed))
+
+
+def complete_bipartite(a: int, b: int, seed: Optional[int] = None) -> PortLabeledGraph:
+    """Complete bipartite graph K(a, b)."""
+    if a < 1 or b < 1:
+        raise ConfigurationError("complete_bipartite needs a, b >= 1")
+    g = nx.complete_bipartite_graph(a, b)
+    return PortLabeledGraph.from_networkx(g, rng=_rng(seed))
+
+
+def random_connected(n: int, seed: int = 0, avg_degree: float = 3.0) -> PortLabeledGraph:
+    """A generic connected random graph with roughly ``avg_degree`` mean degree.
+
+    The workhorse for property-based tests: take a random tree (guarantees
+    connectivity) and sprinkle extra random edges on top.
+    """
+    rng = np.random.default_rng(seed)
+    tree = nx.from_prufer_sequence([int(rng.integers(0, n)) for _ in range(n - 2)]) if n > 2 else nx.path_graph(n)
+    g = nx.Graph(tree)
+    extra = max(0, int(n * avg_degree / 2) - (n - 1))
+    tries = 0
+    while extra > 0 and tries < 50 * n:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        tries += 1
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            extra -= 1
+    return PortLabeledGraph.from_networkx(g, rng=rng)
+
+
+#: Registry used by the experiment sweeps: name -> callable(n, seed) -> graph.
+FAMILIES = {
+    "ring": lambda n, seed=0: ring(n, seed),
+    "clique": lambda n, seed=0: clique(n, seed),
+    "random_regular_3": lambda n, seed=0: random_regular(n if (n * 3) % 2 == 0 else n + 1, 3, seed),
+    "erdos_renyi": lambda n, seed=0: erdos_renyi(n, min(1.0, 2.5 * np.log(max(n, 2)) / max(n, 2)), seed),
+    "random_tree": lambda n, seed=0: random_tree(n, seed),
+    "random_connected": lambda n, seed=0: random_connected(n, seed),
+}

@@ -1,0 +1,285 @@
+"""Anonymous port-labeled graphs — the substrate of the paper's model.
+
+The paper (Section 1.1) works on an *anonymous* graph: nodes carry no
+identifiers visible to robots; instead, every node of degree ``d`` labels
+its incident edges with distinct *ports* ``1..d``.  An edge ``{u, v}``
+therefore has two independent port numbers, one per endpoint, and a robot
+crossing it learns both (the outgoing port it chose and the incoming port
+at the destination).
+
+:class:`PortLabeledGraph` stores this structure explicitly.  Node names
+``0..n-1`` exist only on the simulator side ("true names"); robot programs
+never see them — they interact with the world exclusively through port
+numbers, degrees and co-located robots (enforced by :mod:`repro.sim`).
+
+Design notes
+------------
+* Simple graphs only (no self-loops or parallel edges): every graph the
+  paper's evaluation needs is simple.  Quotient graphs *can* be non-simple;
+  they get their own lightweight representation in
+  :mod:`repro.graphs.quotient`.
+* Port tables are plain tuples for cache-friendly, allocation-free
+  traversal — ``traverse`` is the innermost hot call of the simulator
+  (millions of invocations per benchmark), per the optimization guidance of
+  profiling-first and avoiding per-call allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import GraphStructureError, PortError
+
+__all__ = ["PortLabeledGraph"]
+
+
+class PortLabeledGraph:
+    """An undirected simple graph with local port labels at every node.
+
+    Parameters
+    ----------
+    port_map:
+        ``port_map[u][p] == (v, q)`` states that node ``u``'s port ``p``
+        (1-based) leads to node ``v``, and the same edge is seen by ``v``
+        through its port ``q``.  Mapping must be symmetric.
+
+    The constructor validates the full structural contract (contiguous
+    1-based ports, symmetry, simplicity) and is therefore the single choke
+    point guaranteeing every ``PortLabeledGraph`` in the system is legal.
+    """
+
+    __slots__ = ("_ports", "_n", "_m", "_adjacency")
+
+    def __init__(self, port_map: Mapping[int, Mapping[int, Tuple[int, int]]]):
+        n = len(port_map)
+        if set(port_map.keys()) != set(range(n)):
+            raise GraphStructureError(
+                f"nodes must be exactly 0..{n - 1}, got {sorted(port_map.keys())[:8]}..."
+            )
+        ports: List[Tuple[Tuple[int, int], ...]] = []
+        for u in range(n):
+            table = port_map[u]
+            deg = len(table)
+            if set(table.keys()) != set(range(1, deg + 1)):
+                raise GraphStructureError(
+                    f"node {u}: ports must be exactly 1..{deg}, got {sorted(table.keys())}"
+                )
+            row: List[Tuple[int, int]] = []
+            seen_neighbours = set()
+            for p in range(1, deg + 1):
+                v, q = table[p]
+                if not (0 <= v < n):
+                    raise GraphStructureError(f"node {u} port {p}: endpoint {v} out of range")
+                if v == u:
+                    raise GraphStructureError(f"node {u} port {p}: self-loops not allowed")
+                if v in seen_neighbours:
+                    raise GraphStructureError(
+                        f"node {u}: parallel edge to {v} (simple graphs only)"
+                    )
+                seen_neighbours.add(v)
+                row.append((v, q))
+            ports.append(tuple(row))
+        # Symmetry: u--p-->(v,q) must be mirrored by v--q-->(u,p).
+        for u in range(n):
+            for p0, (v, q) in enumerate(ports[u]):
+                p = p0 + 1
+                if q < 1 or q > len(ports[v]):
+                    raise GraphStructureError(
+                        f"node {u} port {p}: remote port {q} out of range at node {v}"
+                    )
+                back_v, back_p = ports[v][q - 1]
+                if (back_v, back_p) != (u, p):
+                    raise GraphStructureError(
+                        f"asymmetric ports: {u}-{p}->({v},{q}) but {v}-{q}->({back_v},{back_p})"
+                    )
+        self._ports = tuple(ports)
+        self._n = n
+        self._m = sum(len(row) for row in ports) // 2
+        self._adjacency = tuple(tuple(v for v, _ in row) for row in ports)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_networkx(
+        cls,
+        graph: nx.Graph,
+        rng=None,
+    ) -> "PortLabeledGraph":
+        """Build a port-labeled graph from a networkx simple graph.
+
+        Nodes are relabeled to ``0..n-1`` in sorted order.  Each node's
+        ports are assigned to its neighbours either in sorted-neighbour
+        order (``rng is None``, deterministic) or in a random permutation
+        drawn from ``rng`` (a ``numpy.random.Generator`` or
+        ``random.Random``) — the paper stresses that the two endpoints of
+        an edge may disagree on port numbers, and random assignment
+        exercises that.
+        """
+        if graph.is_directed() or graph.is_multigraph():
+            raise GraphStructureError("only undirected simple graphs are supported")
+        nodes = sorted(graph.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        port_map: Dict[int, Dict[int, Tuple[int, int]]] = {i: {} for i in range(len(nodes))}
+        # First decide, per node, the port of each incident edge.
+        port_of: Dict[Tuple[int, int], int] = {}
+        for v in nodes:
+            u = index[v]
+            nbrs = sorted(index[w] for w in graph.neighbors(v))
+            if rng is not None:
+                nbrs = list(nbrs)
+                _shuffle(rng, nbrs)
+            for p, w in enumerate(nbrs, start=1):
+                port_of[(u, w)] = p
+        for (u, w), p in port_of.items():
+            port_map[u][p] = (w, port_of[(w, u)])
+        return cls(port_map)
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]]) -> "PortLabeledGraph":
+        """Convenience: deterministic port labeling of an edge list."""
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        return cls.from_networkx(g)
+
+    # ------------------------------------------------------------------ #
+    # Core queries (hot path)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u`` (== number of ports at ``u``)."""
+        return len(self._ports[u])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (the paper's ``Δ``)."""
+        return max((len(row) for row in self._ports), default=0)
+
+    def traverse(self, u: int, port: int) -> Tuple[int, int]:
+        """Cross the edge at ``u`` leaving through ``port``.
+
+        Returns ``(v, q)``: the destination node and the *incoming* port at
+        the destination — exactly the information the model grants a moving
+        robot (Section 1.1: "it is aware of both port numbers assigned to
+        the edge through which it passed").
+        """
+        row = self._ports[u]
+        if port < 1 or port > len(row):
+            raise PortError(f"node {u} has ports 1..{len(row)}, not {port}")
+        return row[port - 1]
+
+    def neighbours(self, u: int) -> Tuple[int, ...]:
+        """True-name neighbours of ``u`` (simulator-side only)."""
+        return self._adjacency[u]
+
+    def port_to(self, u: int, v: int) -> int:
+        """The port at ``u`` whose edge leads to ``v`` (simulator-side)."""
+        for p0, (w, _) in enumerate(self._ports[u]):
+            if w == v:
+                return p0 + 1
+        raise PortError(f"no edge {u} -> {v}")
+
+    def ports(self, u: int) -> range:
+        """Iterable of valid port numbers at ``u``."""
+        return range(1, len(self._ports[u]) + 1)
+
+    def edges(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate edges as ``(u, p, v, q)`` with ``u < v``."""
+        for u in range(self._n):
+            for p0, (v, q) in enumerate(self._ports[u]):
+                if u < v:
+                    yield (u, p0 + 1, v, q)
+
+    # ------------------------------------------------------------------ #
+    # Structure-level helpers
+    # ------------------------------------------------------------------ #
+
+    def is_connected(self) -> bool:
+        """True iff the graph is connected (dispersion requires it)."""
+        if self._n == 0:
+            return True
+        seen = [False] * self._n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self._adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self._n
+
+    def is_regular(self) -> bool:
+        """True iff every node has the same degree."""
+        degs = {len(row) for row in self._ports}
+        return len(degs) <= 1
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the underlying simple graph (port labels as edge attrs)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        for u, p, v, q in self.edges():
+            g.add_edge(u, v, ports={u: p, v: q})
+        return g
+
+    def relabel(self, perm: Sequence[int]) -> "PortLabeledGraph":
+        """Return an isomorphic copy with node ``i`` renamed ``perm[i]``.
+
+        Port numbers are preserved — the result is port-preserving
+        isomorphic to ``self``.  Used to hand robots *privately relabeled*
+        maps so no information leaks through true node names.
+        """
+        if sorted(perm) != list(range(self._n)):
+            raise GraphStructureError("perm must be a permutation of 0..n-1")
+        port_map: Dict[int, Dict[int, Tuple[int, int]]] = {i: {} for i in range(self._n)}
+        for u in range(self._n):
+            for p0, (v, q) in enumerate(self._ports[u]):
+                port_map[perm[u]][p0 + 1] = (perm[v], q)
+        return PortLabeledGraph(port_map)
+
+    # ------------------------------------------------------------------ #
+    # Dunder / misc
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortLabeledGraph):
+            return NotImplemented
+        return self._ports == other._ports
+
+    def __hash__(self) -> int:
+        return hash(self._ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PortLabeledGraph(n={self._n}, m={self._m})"
+
+    def port_table(self) -> Dict[int, Dict[int, Tuple[int, int]]]:
+        """Deep-copy the port map (for serialisation / relabeling)."""
+        return {
+            u: {p0 + 1: vq for p0, vq in enumerate(row)}
+            for u, row in enumerate(self._ports)
+        }
+
+
+def _shuffle(rng, items: list) -> None:
+    """Shuffle in place with either numpy Generator or random.Random."""
+    if hasattr(rng, "shuffle") and hasattr(rng, "integers"):  # numpy Generator
+        rng.shuffle(items)
+    elif hasattr(rng, "shuffle"):  # random.Random
+        rng.shuffle(items)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unsupported rng type: {type(rng)!r}")

@@ -1,0 +1,474 @@
+"""Exploration with a movable token — map construction (paper Sections 3–4).
+
+The paper repeatedly invokes the Dieudonné–Pelc–Peleg [24] primitive: an
+*agent* and a *movable token* start co-located and cooperate so the agent
+constructs a port-preserving isomorphic map of the anonymous graph.  This
+module implements a concrete such protocol (DESIGN.md §5.4):
+
+**Frontier-edge testing.**  The agent maintains a partial map (every node
+identified by how it was discovered).  To explore an unknown port
+``(u, p)`` it escorts the token to ``u``, crosses together to the unknown
+endpoint ``x``, leaves the token at ``x`` and, for every known map node
+``v`` that could equal ``x`` (same degree, entry port ``q`` unexplored),
+walks alone to ``v`` and checks whether the token is there.  A quorum of
+token-group robots at ``v`` proves ``real(v) == real(x)``; exhausting all
+candidates proves ``x`` is new.  Both outcomes add one verified edge, so
+when no unexplored port remains the map is exact.
+
+Roles can be single robots (the Section 3.1 pairing) or *groups* acting
+as one super-robot (Sections 3.2/3.3/4): commands to the token are only
+believed with ``cmd_threshold`` distinct agent-group IDs behind them, and
+token presence requires ``presence_threshold`` distinct token-group IDs —
+the paper's believe-thresholds, which Byzantine minorities cannot forge.
+
+Timing: the protocol advances in **ticks of two rounds** (command round:
+agents post ``("cmd", tag, tick, port)``; move round: everyone moves), so
+commands reach every token member regardless of sub-round order.  Every
+run occupies a fixed slot of rounds (the paper's footnote 11: robots stop
+at the budget and return to the start node), with the tick budget set by
+an exact dry run of the deterministic explorer
+(:func:`plan_honest_run`) — see DESIGN.md §5.4 for why this only changes
+idle time, never behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..errors import GraphStructureError, MapError
+from ..graphs.port_labeled import PortLabeledGraph
+from ..sim.robot import Action, Move, RobotAPI, Sleep, Stay
+
+__all__ = [
+    "RunSpec",
+    "explorer_core",
+    "plan_honest_run",
+    "agent_program",
+    "token_program",
+    "run_slot_rounds",
+    "sleep_until",
+]
+
+
+# --------------------------------------------------------------------- #
+# Run scheduling
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Parameters of one mapping run (shared knowledge of all participants).
+
+    Attributes
+    ----------
+    tag:
+        Unique hashable label of the run (scopes all messages).
+    start_round:
+        Absolute round at which the run's tick 0 command round happens.
+    tick_budget:
+        Active ticks before everyone aborts and returns (footnote 11).
+    agent_ids / token_ids:
+        Role rosters (true IDs in the weak model; in the strong model the
+        membership test applies to *claimed* IDs, with distinct-ID dedup).
+    cmd_threshold:
+        Distinct agent-group IDs required for the token to obey a command.
+    presence_threshold:
+        Distinct token-group IDs required for the agent to accept that the
+        token is present at a node.
+    exchange:
+        Whether the run ends with a 2-round map broadcast (group modes).
+    """
+
+    tag: Tuple
+    start_round: int
+    tick_budget: int
+    agent_ids: FrozenSet[int]
+    token_ids: FrozenSet[int]
+    cmd_threshold: int = 1
+    presence_threshold: int = 1
+    exchange: bool = False
+
+    @property
+    def active_rounds(self) -> int:
+        return 2 * self.tick_budget
+
+    @property
+    def return_rounds(self) -> int:
+        # Token/agent trails are bounded by one move per tick, +2 margin.
+        return self.tick_budget + 2
+
+    @property
+    def end_round(self) -> int:
+        """First round after the run's slot (including any exchange)."""
+        extra = 2 if self.exchange else 0
+        return self.start_round + self.active_rounds + self.return_rounds + extra
+
+    @property
+    def exchange_round(self) -> int:
+        """Round in which agents post their maps (group modes)."""
+        return self.start_round + self.active_rounds + self.return_rounds
+
+
+def run_slot_rounds(tick_budget: int, exchange: bool = False) -> int:
+    """Total rounds one mapping run occupies for a given tick budget."""
+    return 2 * tick_budget + (tick_budget + 2) + (2 if exchange else 0)
+
+
+def sleep_until(api: RobotAPI, target_round: int) -> Iterator[Action]:
+    """Yield a single Sleep (or nothing) so the robot wakes at ``target_round``."""
+    delta = target_round - api.round
+    if delta > 0:
+        yield Sleep(delta)
+
+
+# --------------------------------------------------------------------- #
+# The explorer core (driver-agnostic deterministic algorithm)
+# --------------------------------------------------------------------- #
+
+
+class _MapOverflow(MapError):
+    """Raised by the core when the map would exceed ``n`` nodes — proof of
+    Byzantine interference (robots know ``n``), so the run aborts."""
+
+
+def _navigate_partial(
+    edges: Dict[int, Dict[int, Tuple[int, int]]], src: int, dst: int
+) -> List[int]:
+    """BFS port path on the explored part of the map (deterministic)."""
+    if src == dst:
+        return []
+    parent: Dict[int, Tuple[int, int]] = {}
+    queue = [src]
+    seen = {src}
+    qi = 0
+    while qi < len(queue):
+        u = queue[qi]
+        qi += 1
+        for p in sorted(edges[u]):
+            v, _ = edges[u][p]
+            if v in seen:
+                continue
+            seen.add(v)
+            parent[v] = (u, p)
+            if v == dst:
+                ports: List[int] = []
+                node = dst
+                while node != src:
+                    prev, port = parent[node]
+                    ports.append(port)
+                    node = prev
+                ports.reverse()
+                return ports
+            queue.append(v)
+    raise MapError(f"partial map: {src} cannot reach {dst}")
+
+
+def explorer_core(n: int, root_degree: int):
+    """The deterministic frontier-testing explorer, as an op coroutine.
+
+    Yields operations and receives observations via ``send``:
+
+    * ``("move", self_port, token_port)`` — execute one tick; ``self_port``
+      moves the agent (0 = stay put), ``token_port`` commands the token
+      (0 = no command).  Responds ``(degree_after_move, arrival_port)``
+      for the agent.
+    * ``("check",)`` — is the token present here?  Responds ``bool``
+      (costs no tick; it is a pure observation).
+
+    Returns (``StopIteration.value``) the completed
+    :class:`PortLabeledGraph` map with the start node labeled 0.  Raises
+    :class:`_MapOverflow` if discoveries exceed ``n`` nodes.
+
+    The driver (simulator wrapper or dry-run planner) owns the tick budget;
+    the core is budget-oblivious and purely deterministic, which is what
+    keeps every honest group member in lockstep.
+    """
+    edges: Dict[int, Dict[int, Tuple[int, int]]] = {0: {}}
+    degree: Dict[int, int] = {0: root_degree}
+    pos = 0
+
+    def unexplored_at(u: int) -> Optional[int]:
+        for p in range(1, degree[u] + 1):
+            if p not in edges[u]:
+                return p
+        return None
+
+    def next_target() -> Optional[int]:
+        # Prefer the current node; else the nearest map node (BFS over the
+        # explored map, deterministic tie-break by discovery id).
+        if unexplored_at(pos) is not None:
+            return pos
+        queue = [pos]
+        seen = {pos}
+        qi = 0
+        while qi < len(queue):
+            u = queue[qi]
+            qi += 1
+            for p in sorted(edges[u]):
+                v, _ = edges[u][p]
+                if v in seen:
+                    continue
+                seen.add(v)
+                if unexplored_at(v) is not None:
+                    return v
+                queue.append(v)
+        return None
+
+    while True:
+        target = next_target()
+        if target is None:
+            break
+        if target != pos:
+            for port in _navigate_partial(edges, pos, target):
+                yield ("move", port, port)  # escort token along
+            pos = target
+        p = unexplored_at(pos)
+        u = pos
+        deg_x, q = yield ("move", p, p)  # cross the frontier edge together
+        # Candidates: same degree, entry port q free — and never u itself
+        # (the world graph is simple, so x != u; without this exclusion a
+        # Byzantine-stalled token at u would "prove" a self-loop).
+        candidates = sorted(
+            v
+            for v in edges
+            if v != u and degree[v] == deg_x and 1 <= q <= degree[v] and q not in edges[v]
+        )
+        found: Optional[int] = None
+        for v in candidates:
+            # Walk alone: x --q--> u, then map path u -> v; token stays at x.
+            yield ("move", q, 0)
+            for port in _navigate_partial(edges, u, v):
+                yield ("move", port, 0)
+            present = yield ("check",)
+            if present:
+                found = v
+                break
+            for port in _navigate_partial(edges, v, u):
+                yield ("move", port, 0)
+            yield ("move", p, 0)  # back out to x
+        if found is not None:
+            edges[u][p] = (found, q)
+            edges[found][q] = (u, p)
+            pos = found  # the agent stands at v == x, token alongside
+        else:
+            nid = len(edges)
+            if nid >= n:
+                raise _MapOverflow(
+                    f"map grew past n={n} nodes — Byzantine-corrupted run"
+                )
+            edges[nid] = {}
+            degree[nid] = deg_x
+            edges[u][p] = (nid, q)
+            edges[nid][q] = (u, p)
+            pos = nid
+    # Map complete: escort the token home to the root.
+    for port in _navigate_partial(edges, pos, 0):
+        yield ("move", port, port)
+    table = {
+        u: {p: edges[u][p] for p in range(1, degree[u] + 1)} for u in edges
+    }
+    try:
+        return PortLabeledGraph(table)
+    except GraphStructureError as exc:
+        # Only reachable when Byzantine interference produced an
+        # inconsistent edge set (e.g. phantom parallel edges): abort the
+        # run exactly like a size overflow.
+        raise _MapOverflow(f"inconsistent map from corrupted run: {exc}") from exc
+
+
+def plan_honest_run(graph: PortLabeledGraph, root: int) -> Tuple[int, PortLabeledGraph]:
+    """Dry-run the explorer against the true graph: exact honest tick count.
+
+    Drives :func:`explorer_core` with truthful observations and counts
+    ticks.  Drivers use the returned count (plus margin) as the fixed run
+    slot budget — the protocol-external scheduling constant the paper sets
+    via its ``T2 = O(n³)`` bound (DESIGN.md §5.4).  Also returns the map
+    the honest run produces, which tests verify is isomorphic to ``graph``.
+    """
+    core = explorer_core(graph.n, graph.degree(root))
+    agent = token = root
+    ticks = 0
+    resp = None
+    try:
+        while True:
+            op = core.send(resp)
+            if op[0] == "move":
+                _, self_port, token_port = op
+                ticks += 1
+                arrival = None
+                if self_port:
+                    agent, arrival = graph.traverse(agent, self_port)
+                if token_port:
+                    token, _ = graph.traverse(token, token_port)
+                resp = (graph.degree(agent), arrival)
+            elif op[0] == "check":
+                resp = agent == token
+            else:  # pragma: no cover - defensive
+                raise MapError(f"unknown op {op!r}")
+    except StopIteration as stop:
+        return ticks, stop.value
+
+
+# --------------------------------------------------------------------- #
+# Simulator-side role programs
+# --------------------------------------------------------------------- #
+
+
+def _count_distinct(views, member_ids: FrozenSet[int]) -> int:
+    """Distinct claimed member IDs among the views (strong-model dedup)."""
+    return len({v.claimed_id for v in views if v.claimed_id in member_ids})
+
+
+def agent_program(
+    api: RobotAPI,
+    run: RunSpec,
+    out: Dict,
+) -> Iterator[Action]:
+    """One honest agent(-group member) executing run ``run``.
+
+    Writes the constructed map (or ``None`` on abort) into
+    ``out[run.tag]`` before the run slot ends; always back at the start
+    node (via its reverse trail if aborted) by ``run.end_round`` minus the
+    exchange rounds.  The caller is responsible for being at the start
+    node at ``run.start_round`` (asserted by construction of the phases).
+    """
+    yield from sleep_until(api, run.start_round)
+    core = explorer_core(api.n, api.degree())
+    trail: List[int] = []
+    tick = 0
+    result: Optional[PortLabeledGraph] = None
+    completed = False
+    resp = None
+    try:
+        op = core.send(None)
+        while True:
+            if op[0] == "check":
+                present = _count_distinct(api.colocated(), run.token_ids) >= run.presence_threshold
+                op = core.send(present)
+                continue
+            _, self_port, token_port = op
+            if tick >= run.tick_budget:
+                break  # budget exhausted: abort (footnote 11)
+            # Command round.
+            if token_port:
+                api.say(("cmd", run.tag, tick, token_port))
+            yield Stay()
+            # Move round.
+            if self_port:
+                if self_port > api.degree():
+                    break  # map/world mismatch: Byzantine-corrupted run
+                yield Move(self_port)
+                trail.append(api.arrival_port)
+                resp = (api.degree(), api.arrival_port)
+            else:
+                yield Stay()
+                resp = (api.degree(), api.arrival_port)
+            tick += 1
+            op = core.send(resp)
+    except StopIteration as stop:
+        result = stop.value
+        completed = True
+    except _MapOverflow:
+        result = None
+    out[run.tag] = result if completed else None
+    if not completed:
+        # Return home by reversing the recorded arrival-port trail.
+        for port in reversed(trail):
+            yield Move(port)
+    # Sleep out the remainder of active+return phases.
+    yield from sleep_until(api, run.exchange_round if run.exchange else run.end_round)
+    if run.exchange:
+        from ..graphs.isomorphism import canonical_form
+
+        encoding = canonical_form(out[run.tag], 0) if out[run.tag] is not None else None
+        api.say(("map", run.tag, encoding))
+        yield Stay()
+        # Read-back round (agents also collect, for uniformity).
+        collected = _collect_map(api, run)
+        out[("exchanged", run.tag)] = collected
+        yield Stay()
+    yield from sleep_until(api, run.end_round)
+
+
+def token_program(
+    api: RobotAPI,
+    run: RunSpec,
+    out: Dict,
+) -> Iterator[Action]:
+    """One honest token(-group member) executing run ``run``.
+
+    Obeys quorum-backed commands during the active phase, then replays its
+    reverse trail home.  In exchange mode, collects the map the agent
+    group broadcasts into ``out[("exchanged", run.tag)]``.
+    """
+    yield from sleep_until(api, run.start_round)
+    trail: List[int] = []
+    while api.round < run.start_round + run.active_rounds:
+        rel = api.round - run.start_round
+        if rel % 2 == 0:
+            yield Stay()  # command round: listen only
+            continue
+        tick = rel // 2
+        support: Dict[int, set] = {}
+        for sender, payload in api.messages_prev():
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == "cmd"
+                and payload[1] == run.tag
+            ):
+                # ("cmd", tag, port) is never posted — full form has tick.
+                continue
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "cmd"
+                and payload[1] == run.tag
+                and payload[2] == tick
+                and sender in run.agent_ids
+            ):
+                support.setdefault(payload[3], set()).add(sender)
+        best_port = 0
+        best = (0, 0)
+        for port, backers in support.items():
+            key = (len(backers), -port)
+            if len(backers) >= run.cmd_threshold and key > best:
+                best = key
+                best_port = port
+        if best_port and best_port <= api.degree():
+            yield Move(best_port)
+            trail.append(api.arrival_port)
+        else:
+            yield Stay()
+    # Return phase: retrace every move (correct from wherever we stand).
+    for port in reversed(trail):
+        yield Move(port)
+    yield from sleep_until(api, run.exchange_round if run.exchange else run.end_round)
+    if run.exchange:
+        yield Stay()  # agents post in this round
+        out[("exchanged", run.tag)] = _collect_map(api, run)
+        yield Stay()
+    yield from sleep_until(api, run.end_round)
+
+
+def _collect_map(api: RobotAPI, run: RunSpec):
+    """Believe the map encoding backed by >= cmd_threshold distinct agents."""
+    votes: Dict[object, set] = {}
+    for sender, payload in api.messages_prev():
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == "map"
+            and payload[1] == run.tag
+            and payload[2] is not None
+            and sender in run.agent_ids
+        ):
+            votes.setdefault(payload[2], set()).add(sender)
+    best_enc = None
+    best = 0
+    for enc, backers in votes.items():
+        if len(backers) >= run.cmd_threshold and len(backers) > best:
+            best = len(backers)
+            best_enc = enc
+    return best_enc

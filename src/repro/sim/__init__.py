@@ -1,0 +1,37 @@
+"""Synchronous mobile-robot simulator (the paper's model, Section 1.1)."""
+
+from .ids import assign_ids, id_space_upper_bound, validate_ids
+from .robot import (
+    SETTLED,
+    TOBESETTLED,
+    ByzantineAPI,
+    Move,
+    PublicView,
+    Robot,
+    RobotAPI,
+    Sleep,
+    Stay,
+)
+from .scheduler import RunReport, finish_report
+from .trace import Trace, TraceEvent
+from .world import World
+
+__all__ = [
+    "World",
+    "Robot",
+    "RobotAPI",
+    "ByzantineAPI",
+    "PublicView",
+    "Move",
+    "Stay",
+    "Sleep",
+    "SETTLED",
+    "TOBESETTLED",
+    "RunReport",
+    "finish_report",
+    "Trace",
+    "TraceEvent",
+    "assign_ids",
+    "validate_ids",
+    "id_space_upper_bound",
+]

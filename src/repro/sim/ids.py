@@ -1,0 +1,60 @@
+"""Robot ID assignment.
+
+The model (Section 1.1): every robot carries a unique ID from ``[1, n^c]``
+for a constant ``c > 1``.  The paper's round bounds depend on ID *lengths*
+(``|Λgood|``, ``|Λall|`` — bit lengths of the largest IDs), so experiments
+need control over how large IDs are, not just that they are distinct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["assign_ids", "validate_ids", "id_space_upper_bound"]
+
+
+def id_space_upper_bound(n: int, c: float = 2.0) -> int:
+    """The paper's ID space cap ``n^c`` (``c > 1``)."""
+    if c <= 1:
+        raise ConfigurationError("the model requires c > 1")
+    return max(int(n**c), n)
+
+
+def assign_ids(
+    n_robots: int,
+    n_nodes: Optional[int] = None,
+    c: float = 2.0,
+    seed: Optional[int] = None,
+) -> List[int]:
+    """Draw ``n_robots`` distinct IDs from ``[1, n_nodes^c]``.
+
+    ``seed=None`` gives the deterministic compact assignment ``1..n_robots``
+    (smallest legal IDs — minimises ``|Λ|`` and thus charged costs);
+    a seed samples IDs uniformly without replacement from the full space,
+    which exercises long-ID cost paths.
+    """
+    if n_robots < 1:
+        raise ConfigurationError("need at least one robot")
+    n_nodes = n_nodes if n_nodes is not None else n_robots
+    cap = id_space_upper_bound(n_nodes, c)
+    if n_robots > cap:
+        raise ConfigurationError(f"cannot fit {n_robots} distinct IDs in [1, {cap}]")
+    if seed is None:
+        return list(range(1, n_robots + 1))
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(cap, size=n_robots, replace=False) + 1
+    return sorted(int(i) for i in ids)
+
+
+def validate_ids(ids: Sequence[int], n_nodes: int, c: float = 2.0) -> None:
+    """Raise :class:`ConfigurationError` unless IDs satisfy the model."""
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("robot IDs must be distinct")
+    cap = id_space_upper_bound(n_nodes, c)
+    for i in ids:
+        if not (1 <= i <= cap):
+            raise ConfigurationError(f"ID {i} outside the model's range [1, {cap}]")

@@ -1,0 +1,279 @@
+"""Robots, their public records, actions, and the API programs see.
+
+The simulator enforces the paper's information model (Section 1.1): an
+honest robot program can observe *only*
+
+* its own ID and the known value of ``n``,
+* the degree of its current node and the port it arrived through,
+* the public records (claimed ID, state, flag) of co-located robots,
+* messages posted at its node (same round by earlier sub-round actors,
+  or the full board of the previous round).
+
+It acts by yielding :class:`Move` or :class:`Stay`; movement is applied
+simultaneously at the end of the round (the model's task (ii)).
+
+Byzantine robots run strategy programs bound to a :class:`ByzantineAPI`,
+which additionally exposes the whole :class:`~repro.sim.world.World`
+(worst-case adaptive adversary) and — in the *strong* model only — the
+power to fake the claimed ID (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..errors import ProtocolViolation, SimulationError
+
+__all__ = [
+    "TOBESETTLED",
+    "SETTLED",
+    "Move",
+    "Stay",
+    "Action",
+    "PublicView",
+    "Robot",
+    "RobotAPI",
+    "ByzantineAPI",
+]
+
+#: The two robot states of Section 2.2.
+TOBESETTLED = "tobeSettled"
+SETTLED = "Settled"
+
+
+@dataclass(frozen=True)
+class Move:
+    """End the round by crossing the edge at the given local port."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class Stay:
+    """End the round without moving."""
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """End the round without moving, and stay dormant for ``rounds`` rounds.
+
+    Semantically identical to yielding :class:`Stay` ``rounds`` times with
+    no observations in between (public record frozen, no messages posted).
+    Exists so that protocol phases with fixed slot lengths (the paper's
+    "wait at the start node until the next stage begins", footnote 11)
+    don't cost one generator resume per idle round; when *every* robot is
+    asleep the scheduler fast-forwards in one jump.
+    """
+
+    rounds: int
+
+
+Action = object  # Move | Stay | Sleep — kept loose for isinstance dispatch.
+
+
+@dataclass(frozen=True)
+class PublicView:
+    """What co-located robots can see of a robot in a given instant.
+
+    ``claimed_id`` equals the true ID for honest and weak-Byzantine robots;
+    strong Byzantine robots choose it freely each round (Section 4).
+    """
+
+    claimed_id: int
+    state: str
+    flag: int
+
+
+class Robot:
+    """Simulator-side robot record.  Programs never touch this directly."""
+
+    __slots__ = (
+        "true_id",
+        "node",
+        "arrival_port",
+        "byzantine",
+        "claimed_id",
+        "state",
+        "flag",
+        "program",
+        "terminated",
+        "settled_node",
+        "moves_made",
+        "pending_action",
+        "sleep_until",
+    )
+
+    def __init__(
+        self,
+        true_id: int,
+        node: int,
+        program: Iterator[Action],
+        byzantine: bool,
+    ):
+        self.true_id = true_id
+        self.node = node
+        self.arrival_port: Optional[int] = None
+        self.byzantine = byzantine
+        self.claimed_id = true_id
+        self.state = TOBESETTLED
+        self.flag = 0
+        self.program = program
+        self.terminated = False
+        self.settled_node: Optional[int] = None
+        self.moves_made = 0
+        self.pending_action: Optional[Action] = None
+        self.sleep_until = 0  # robot is dormant while world.round < sleep_until
+
+    def view(self) -> PublicView:
+        """Snapshot of this robot's public record."""
+        return PublicView(claimed_id=self.claimed_id, state=self.state, flag=self.flag)
+
+
+class RobotAPI:
+    """The honest robot's window into the world.
+
+    One instance per robot, handed to its program generator.  All methods
+    are safe to call any number of times within the robot's sub-round.
+    """
+
+    def __init__(self, world: "World", robot: Robot):  # noqa: F821 - forward ref
+        self._world = world
+        self._robot = robot
+
+    # -- identity & global knowledge the model grants ------------------- #
+
+    @property
+    def id(self) -> int:
+        """This robot's own (true) ID."""
+        return self._robot.true_id
+
+    @property
+    def n(self) -> int:
+        """Number of graph nodes — known to all robots (Section 1.1)."""
+        return self._world.graph.n
+
+    @property
+    def round(self) -> int:
+        """Current round number (synchronous system: globally shared)."""
+        return self._world.round
+
+    # -- local observation ---------------------------------------------- #
+
+    def degree(self) -> int:
+        """Degree of (== number of ports at) the current node."""
+        return self._world.graph.degree(self._robot.node)
+
+    @property
+    def arrival_port(self) -> Optional[int]:
+        """Port through which this robot entered its current node.
+
+        ``None`` before the first move (initial placement has no port).
+        """
+        return self._robot.arrival_port
+
+    def colocated(self) -> List[PublicView]:
+        """Live public records of other robots at this node, sorted by
+        claimed ID.  "Live" = including updates made earlier this round by
+        robots with smaller sub-round rank (the paper's sub-round rule)."""
+        me = self._robot
+        views = [
+            r.view()
+            for r in self._world.robots_at(me.node)
+            if r is not me
+        ]
+        views.sort(key=lambda v: v.claimed_id)
+        return views
+
+    def colocated_at_round_start(self) -> List[PublicView]:
+        """Public records of co-located robots as of the *start* of this
+        round (after last round's movement, before anyone's sub-round).
+
+        This is the paper's "``S_s(v)`` and ``S_tbs(v)`` … in round ``t``"
+        snapshot; comparing it with :meth:`colocated` tells a robot who
+        "changed its state to Settled" during the current round.
+        """
+        me = self._robot
+        snap = self._world.round_start_snapshot
+        return sorted(
+            (view for rid, (node, view) in snap.items() if node == me.node and rid != me.true_id),
+            key=lambda v: v.claimed_id,
+        )
+
+    # -- public record updates ------------------------------------------ #
+
+    def set_flag(self, value: int) -> None:
+        """Publish the 0/1 intent flag of Section 2.2."""
+        if value not in (0, 1):
+            raise ProtocolViolation("flag must be 0 or 1")
+        self._robot.flag = value
+
+    def settle(self) -> None:
+        """Settle at the current node: state := Settled, forever.
+
+        The simulator records the settle position for validation; an honest
+        robot must never move nor change state afterwards (enforced).
+        """
+        me = self._robot
+        if me.state == SETTLED and me.settled_node != me.node:
+            raise ProtocolViolation("honest robot attempted to re-settle elsewhere")
+        me.state = SETTLED
+        me.settled_node = me.node
+        self._world.trace.record(self._world.round, "settle", robot=me.true_id, node=me.node)
+
+    # -- messaging ------------------------------------------------------- #
+
+    def say(self, payload: Any) -> None:
+        """Post a message on the current node's board for this round."""
+        me = self._robot
+        self._world.post_message(me.node, me.claimed_id, payload)
+
+    def messages(self) -> List[Tuple[int, Any]]:
+        """Messages posted at this node *this* round so far
+        (i.e. by robots of smaller sub-round rank), as
+        ``(claimed_sender_id, payload)`` pairs."""
+        return list(self._world.board_current.get(self._robot.node, ()))
+
+    def messages_prev(self) -> List[Tuple[int, Any]]:
+        """The complete message board of the previous round at this node.
+
+        Use this when a protocol step needs *everyone's* message regardless
+        of ID order (costs one round of latency; see DESIGN.md §3)."""
+        return list(self._world.board_previous.get(self._robot.node, ()))
+
+    # -- misc ------------------------------------------------------------ #
+
+    def log(self, kind: str, **data: Any) -> None:
+        """Emit a trace event (observability only — no protocol effect)."""
+        self._world.trace.record(self._world.round, kind, robot=self._robot.true_id, **data)
+
+
+class ByzantineAPI(RobotAPI):
+    """API handed to Byzantine strategy programs.
+
+    Adds omniscient world access (worst-case adversary) and, in the strong
+    model, ID faking.  Weak Byzantine robots may lie, squat, move and spam
+    arbitrarily — but their claimed ID is pinned by the simulator
+    (Section 1.1, following Dieudonné–Pelc–Peleg [24]).
+    """
+
+    @property
+    def world(self) -> "World":  # noqa: F821
+        """Full read access to the simulator state (adaptive adversary)."""
+        return self._world
+
+    def set_state(self, state: str) -> None:
+        """Publish an arbitrary state string (lie freely)."""
+        self._robot.state = state
+
+    def set_claimed_id(self, claimed: int) -> None:
+        """Fake the ID in the public record — strong Byzantine only."""
+        if self._world.model != "strong":
+            raise SimulationError(
+                "ID faking requires the strong Byzantine model (got weak)"
+            )
+        self._robot.claimed_id = claimed
+
+    def mark_settled_record(self, node_hint: Optional[int] = None) -> None:
+        """Record a *claimed* settle (no honest bookkeeping) — pure lie."""
+        self._robot.state = SETTLED

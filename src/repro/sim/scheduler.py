@@ -1,0 +1,98 @@
+"""Run-loop helpers and structured run reports.
+
+:class:`RunReport` is the uniform result object every algorithm entry
+point returns; it separates *simulated* rounds (the scheduler actually
+stepped them) from *charged* rounds (oracle phases priced by the paper's
+cited bounds — see DESIGN.md §5) and carries the validation verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .world import World
+
+__all__ = ["RunReport", "finish_report"]
+
+
+@dataclass
+class RunReport:
+    """Outcome of one Byzantine-dispersion run.
+
+    Attributes
+    ----------
+    success:
+        True iff every honest robot terminated settled AND no two honest
+        robots settled on the same node (Definition 1).
+    rounds_simulated / rounds_charged / rounds_total:
+        Scheduler-stepped rounds, oracle-charged rounds, and their sum
+        (the figure the paper's Table 1 bounds).
+    settled:
+        ``true_id -> node`` for honest robots that settled (node is the
+        simulator's true name; tests compare these for collisions).
+    violations:
+        Human-readable reasons when ``success`` is False.
+    phases:
+        ``(label, rounds)`` per charged phase, in order.
+    meta:
+        Free-form algorithm-specific extras (e.g. maps agreed, group
+        assignment, blacklist sizes).
+    """
+
+    success: bool
+    rounds_simulated: int
+    rounds_charged: int
+    settled: Dict[int, Optional[int]]
+    violations: List[str] = field(default_factory=list)
+    phases: List[Tuple[str, int]] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rounds_total(self) -> int:
+        return self.rounds_simulated + self.rounds_charged
+
+
+def finish_report(
+    world: World,
+    extra_violations: Optional[List[str]] = None,
+    honest_cap: int = 1,
+    **meta,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from a finished world.
+
+    Applies Definition 1: every honest robot settled, and no node holds
+    more than ``honest_cap`` honest settlers (1 in the paper's primary
+    setting; ``⌈(k−f)/n⌉`` in the Section 5 ``k``-robot variant).
+    """
+    settled = world.honest_settled_positions()
+    violations: List[str] = list(extra_violations or [])
+    unsettled = sorted(rid for rid, node in settled.items() if node is None)
+    if unsettled:
+        violations.append(f"honest robots never settled: {unsettled}")
+    by_node: Dict[int, List[int]] = {}
+    for rid, node in settled.items():
+        if node is not None:
+            by_node.setdefault(node, []).append(rid)
+    for node, rids in sorted(by_node.items()):
+        if len(rids) > honest_cap:
+            violations.append(f"node {node} hosts {len(rids)} honest settlers: {sorted(rids)}")
+    # A settled robot counts as done even if its program keeps running
+    # (e.g. baseline landmarks that guide forever); an *unsettled* robot
+    # must have terminated for the run to be complete.
+    not_done = sorted(
+        rid
+        for rid, r in world.robots.items()
+        if not r.byzantine and not r.terminated and r.settled_node is None
+    )
+    if not_done:
+        violations.append(f"honest robots neither settled nor terminated: {not_done}")
+    return RunReport(
+        success=not violations,
+        rounds_simulated=world.round,
+        rounds_charged=world.charged_rounds,
+        settled=settled,
+        violations=violations,
+        phases=list(world.charged),
+        meta=dict(meta),
+    )

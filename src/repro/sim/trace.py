@@ -1,0 +1,62 @@
+"""Event tracing for simulations.
+
+A trace is a flat list of ``(round, kind, data)`` events.  Tracing is
+enabled by default for tests/examples (events are cheap dicts) and can be
+disabled for large benchmark runs; the recorder then degrades to a no-op
+that only keeps counters, so hot loops never pay for event storage they
+will not use (guide rule: don't allocate on the fast path).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single simulation event."""
+
+    round: int
+    kind: str
+    data: Dict[str, Any]
+
+
+class Trace:
+    """Append-only event log with per-kind counters.
+
+    Counters are always maintained (metrics need them); full events are
+    kept only when ``keep_events=True``.
+    """
+
+    def __init__(self, keep_events: bool = True):
+        self.keep_events = keep_events
+        self.events: List[TraceEvent] = []
+        self.counters: Counter = Counter()
+
+    def record(self, round_no: int, kind: str, **data: Any) -> None:
+        """Record one event."""
+        self.counters[kind] += 1
+        if self.keep_events:
+            self.events.append(TraceEvent(round=round_no, kind=kind, data=data))
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were recorded."""
+        return self.counters[kind]
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """Iterate stored events of one kind (empty if events not kept)."""
+        return (e for e in self.events if e.kind == kind)
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """Most recent stored event of ``kind``, or ``None``."""
+        for e in reversed(self.events):
+            if e.kind == kind:
+                return e
+        return None
+
+    def __len__(self) -> int:
+        return len(self.events)

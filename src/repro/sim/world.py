@@ -1,0 +1,288 @@
+"""The synchronous world: robots on a port-labeled graph, round by round.
+
+Implements the model of Section 1.1 plus the sub-round refinement of
+Section 2.2:
+
+* Each round, robots act in ascending ``(claimed_id, true_id)`` order —
+  the paper's "robot of rank Y waits until sub-round Y".  A robot's
+  program is resumed exactly once per round and must yield a
+  :class:`~repro.sim.robot.Move` or :class:`~repro.sim.robot.Stay`.
+* During its sub-round a robot observes live public records (smaller-rank
+  robots have already acted this round) and the frozen *round-start
+  snapshot* (who was where, in which state, when the round began).
+* All movements are applied simultaneously at the end of the round.
+* Message boards are per-node, per-round; the previous round's board stays
+  readable (one-round-latency channel for order-independent exchanges).
+
+The world also keeps **charged rounds**: phases the paper prices via prior
+work (gathering, Find-Map) add their cited round cost to the accounting
+without being stepped one by one (see DESIGN.md §5).  Every result object
+reports simulated and charged rounds separately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ProtocolViolation, SimulationError
+from ..graphs.port_labeled import PortLabeledGraph
+from .robot import (
+    SETTLED,
+    Action,
+    ByzantineAPI,
+    Move,
+    PublicView,
+    Robot,
+    RobotAPI,
+    Sleep,
+    Stay,
+)
+from .trace import Trace
+
+__all__ = ["World"]
+
+ProgramFactory = Callable[[RobotAPI], Iterator[Action]]
+
+
+class World:
+    """A running simulation instance.
+
+    Parameters
+    ----------
+    graph:
+        The anonymous port-labeled world graph (connected).
+    model:
+        ``"weak"`` — Byzantine robots cannot fake IDs (Sections 2 & 3);
+        ``"strong"`` — they can (Section 4).
+    keep_trace:
+        Store full event objects (True) or only counters (False).
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        model: str = "weak",
+        keep_trace: bool = True,
+    ):
+        if model not in ("weak", "strong"):
+            raise SimulationError(f"unknown Byzantine model {model!r}")
+        self.graph = graph
+        self.model = model
+        self.robots: Dict[int, Robot] = {}
+        self.round = 0
+        self.charged: List[Tuple[str, int]] = []
+        self.board_current: Dict[int, List[Tuple[int, Any]]] = {}
+        self.board_previous: Dict[int, List[Tuple[int, Any]]] = {}
+        self.round_start_snapshot: Dict[int, Tuple[int, PublicView]] = {}
+        self.trace = Trace(keep_events=keep_trace)
+        self._by_node: Dict[int, List[Robot]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Population management
+    # ------------------------------------------------------------------ #
+
+    def add_robot(
+        self,
+        true_id: int,
+        node: int,
+        program_factory: ProgramFactory,
+        byzantine: bool = False,
+    ) -> Robot:
+        """Create a robot and bind its program.
+
+        ``program_factory`` receives the robot's API (a
+        :class:`ByzantineAPI` iff ``byzantine``) and must return a
+        generator yielding one action per round.
+        """
+        if true_id in self.robots:
+            raise SimulationError(f"duplicate robot ID {true_id}")
+        if not (0 <= node < self.graph.n):
+            raise SimulationError(f"node {node} out of range")
+        robot = Robot(true_id=true_id, node=node, program=iter(()), byzantine=byzantine)
+        api = ByzantineAPI(self, robot) if byzantine else RobotAPI(self, robot)
+        robot.program = program_factory(api)
+        self.robots[true_id] = robot
+        self._by_node.setdefault(node, []).append(robot)
+        return robot
+
+    @property
+    def honest_ids(self) -> List[int]:
+        """True IDs of non-Byzantine robots, ascending."""
+        return sorted(i for i, r in self.robots.items() if not r.byzantine)
+
+    @property
+    def byzantine_ids(self) -> List[int]:
+        """True IDs of Byzantine robots, ascending."""
+        return sorted(i for i, r in self.robots.items() if r.byzantine)
+
+    def robots_at(self, node: int) -> List[Robot]:
+        """Robots currently located at ``node`` (stable within a round)."""
+        return self._by_node.get(node, [])
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Execute one synchronous round (sub-rounds + simultaneous moves)."""
+        # Freeze the round-start snapshot: the paper's "in round t" sets.
+        self.round_start_snapshot = {
+            rid: (r.node, r.view()) for rid, r in self.robots.items()
+        }
+        self.board_current = {}
+
+        order = sorted(
+            (r for r in self.robots.values() if not r.terminated),
+            key=lambda r: (r.claimed_id, r.true_id),
+        )
+        for robot in order:
+            if robot.sleep_until > self.round:
+                robot.pending_action = None
+                continue
+            try:
+                action = next(robot.program)
+            except StopIteration:
+                robot.terminated = True
+                robot.pending_action = None
+                continue
+            if isinstance(action, Sleep):
+                if action.rounds < 1:
+                    raise SimulationError("Sleep must cover at least 1 round")
+                robot.sleep_until = self.round + action.rounds
+                robot.pending_action = None
+                continue
+            if isinstance(action, Move):
+                if not robot.byzantine and robot.settled_node is not None:
+                    raise ProtocolViolation(
+                        f"settled honest robot {robot.true_id} attempted to move"
+                    )
+                deg = self.graph.degree(robot.node)
+                if not (1 <= action.port <= deg):
+                    raise SimulationError(
+                        f"robot {robot.true_id} used invalid port {action.port} "
+                        f"at a degree-{deg} node"
+                    )
+                robot.pending_action = action
+            elif isinstance(action, Stay):
+                robot.pending_action = None
+            else:
+                raise SimulationError(
+                    f"robot {robot.true_id} yielded {action!r}; expected Move or Stay"
+                )
+
+        # Task (ii): simultaneous movement.
+        moved = False
+        for robot in order:
+            act = robot.pending_action
+            if act is None:
+                continue
+            dest, in_port = self.graph.traverse(robot.node, act.port)
+            self.trace.record(
+                self.round, "move", robot=robot.true_id, src=robot.node, dst=dest, port=act.port
+            )
+            robot.node = dest
+            robot.arrival_port = in_port
+            robot.moves_made += 1
+            robot.pending_action = None
+            moved = True
+        if moved:
+            self._rebuild_index()
+
+        self.board_previous = self.board_current
+        self.round += 1
+
+        # Fast-forward: if every live robot is dormant, jump to the first
+        # round anyone wakes in one step.  Equivalent to stepping (dormant
+        # robots observe nothing and boards decay to empty after a round).
+        live = [r for r in self.robots.values() if not r.terminated]
+        if live and all(r.sleep_until > self.round for r in live):
+            wake = min(r.sleep_until for r in live)
+            if wake > self.round + 1:
+                self.round = wake
+                self.board_previous = {}
+
+    def run(
+        self,
+        max_rounds: int,
+        until: Optional[Callable[["World"], bool]] = None,
+    ) -> bool:
+        """Step until all honest robots terminated (or ``until`` fires).
+
+        Returns True if the stop condition was met within ``max_rounds``,
+        False if the budget ran out first (callers decide whether that is
+        a failure; it usually is).  ``max_rounds`` bounds the simulated
+        round counter, not loop iterations (sleep fast-forwarding can
+        advance many rounds per step).
+        """
+        deadline = self.round + max_rounds
+        while self.round < deadline:
+            if until is not None:
+                if until(self):
+                    return True
+            elif self.all_honest_done():
+                return True
+            self.step()
+        return (until(self) if until is not None else self.all_honest_done())
+
+    def all_honest_done(self) -> bool:
+        """True iff every honest robot's program has terminated."""
+        return all(r.terminated for r in self.robots.values() if not r.byzantine)
+
+    # ------------------------------------------------------------------ #
+    # Oracle-phase support (charged rounds, simulator-side placement)
+    # ------------------------------------------------------------------ #
+
+    def charge(self, label: str, rounds: int) -> None:
+        """Account ``rounds`` of a phase priced via cited prior work."""
+        if rounds < 0:
+            raise SimulationError("cannot charge negative rounds")
+        self.charged.append((label, rounds))
+        self.trace.record(self.round, "charge", label=label, rounds=rounds)
+
+    @property
+    def charged_rounds(self) -> int:
+        """Total charged (non-simulated) rounds so far."""
+        return sum(r for _, r in self.charged)
+
+    @property
+    def total_rounds(self) -> int:
+        """Simulated + charged rounds — the number benchmarks report."""
+        return self.round + self.charged_rounds
+
+    def teleport(self, true_id: int, node: int) -> None:
+        """Simulator-side relocation (enacting an oracle phase outcome)."""
+        robot = self.robots[true_id]
+        self.trace.record(self.round, "teleport", robot=true_id, src=robot.node, dst=node)
+        robot.node = node
+        robot.arrival_port = None
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------ #
+    # Messaging internals (used by RobotAPI)
+    # ------------------------------------------------------------------ #
+
+    def post_message(self, node: int, claimed_sender: int, payload: Any) -> None:
+        """Append a message to the current round's board at ``node``."""
+        self.board_current.setdefault(node, []).append((claimed_sender, payload))
+
+    # ------------------------------------------------------------------ #
+    # Inspection helpers
+    # ------------------------------------------------------------------ #
+
+    def honest_settled_positions(self) -> Dict[int, Optional[int]]:
+        """``true_id -> settled node`` (``None`` = never settled)."""
+        return {
+            rid: r.settled_node
+            for rid, r in self.robots.items()
+            if not r.byzantine
+        }
+
+    def positions(self) -> Dict[int, int]:
+        """Current ``true_id -> node`` for every robot."""
+        return {rid: r.node for rid, r in self.robots.items()}
+
+    def _rebuild_index(self) -> None:
+        index: Dict[int, List[Robot]] = {}
+        for r in self.robots.values():
+            index.setdefault(r.node, []).append(r)
+        self._by_node = index

@@ -1,0 +1,143 @@
+"""Tests for the baseline algorithms (DFS, ring prior work, random)."""
+
+import pytest
+
+from repro.baselines import (
+    dfs_rounds_bound,
+    solve_dfs_baseline,
+    solve_random_baseline,
+    solve_ring_dispersion,
+)
+from repro.byzantine import Adversary
+from repro.errors import ConfigurationError, GraphStructureError
+from repro.graphs import clique, random_connected, ring, torus
+
+
+class TestDfsBaselineHonest:
+    @pytest.mark.parametrize("seed", [1, 2, 5])
+    def test_disperses_n_robots(self, seed):
+        g = random_connected(8, seed=seed)
+        rep = solve_dfs_baseline(g)
+        assert rep.success, rep.violations
+        assert sorted(rep.settled.values()) == list(range(8))
+
+    def test_k_less_than_n(self, rc8):
+        rep = solve_dfs_baseline(rc8, k=5)
+        assert rep.success
+        assert len(set(rep.settled.values())) == 5
+
+    def test_capacity_k_over_n(self, rc8):
+        rep = solve_dfs_baseline(rc8, k=20, cap=3)
+        assert rep.success, rep.violations
+        from repro.analysis import settlement_histogram
+
+        hist = settlement_histogram(rep.settled)
+        assert max(len(v) for v in hist.values()) <= 3
+
+    def test_round_bound(self, rc8):
+        rep = solve_dfs_baseline(rc8)
+        assert rep.rounds_simulated <= dfs_rounds_bound(rc8.n, rc8.m)
+
+    def test_works_on_symmetric_graphs(self):
+        rep = solve_dfs_baseline(torus(3, 3))
+        assert rep.success
+
+    def test_disconnected_rejected(self):
+        from repro.graphs import PortLabeledGraph
+
+        g = PortLabeledGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            solve_dfs_baseline(g)
+
+
+class TestDfsBaselineFragility:
+    """The motivation benchmark: classic dispersion has zero Byzantine
+    tolerance — single adversaries break it."""
+
+    def test_squatter_breaks_it(self, rc8):
+        rep = solve_dfs_baseline(rc8, f=2, adversary=Adversary("squatter"))
+        assert not rep.success
+
+    def test_lying_landmark_breaks_it(self, rc8):
+        """A Byzantine robot that poses as a settled landmark and answers
+        with a non-existent port strands every visitor — the classic
+        algorithm trusts guidance blindly.  (Amusingly, a liar answering a
+        *valid* wrong port merely rewires the DFS and the group still
+        disperses; the trust failure needs only one unanswerable reply.)"""
+
+        def lying_landmark(api, rng):
+            from repro.sim.robot import Stay
+
+            api.set_state("Settled")
+            while True:
+                api.say(("dfs", 99))
+                yield Stay()
+
+        rep = solve_dfs_baseline(rc8, f=1, adversary=Adversary(lying_landmark))
+        assert not rep.success
+        assert any("never settled" in v for v in rep.violations)
+
+    def test_paper_algorithm_survives_same_adversary(self, rc8):
+        """Same graph, same f, same strategy: Theorem 3 succeeds where
+        the baseline fails — the headline comparison."""
+        from repro.core import solve_theorem3
+
+        base = solve_dfs_baseline(rc8, f=2, adversary=Adversary("squatter"))
+        ours = solve_theorem3(rc8, f=2, adversary=Adversary("squatter"))
+        assert not base.success and ours.success
+
+
+class TestRingPriorWork:
+    def test_all_honest(self):
+        rep = solve_ring_dispersion(7, f=0)
+        assert rep.success
+
+    def test_max_tolerance(self):
+        rep = solve_ring_dispersion(7, f=6, adversary=Adversary("ghost_squatter"))
+        assert rep.success
+
+    @pytest.mark.parametrize("strategy", ["squatter", "flag_spammer", "idle", "random_walker"])
+    def test_strategies_at_half(self, strategy):
+        rep = solve_ring_dispersion(9, f=4, adversary=Adversary(strategy, seed=3))
+        assert rep.success, rep.violations
+
+    def test_linear_rounds(self):
+        """Time-optimal shape of the prior work: O(n) simulated rounds."""
+        r9 = solve_ring_dispersion(9, f=4, adversary=Adversary("idle"))
+        r18 = solve_ring_dispersion(18, f=9, adversary=Adversary("idle"))
+        assert r18.rounds_simulated <= 2 * 18 + 2
+        assert r9.rounds_simulated <= 2 * 9 + 2
+
+    def test_gathered_start(self):
+        rep = solve_ring_dispersion(8, f=3, adversary=Adversary("squatter"), start="gathered")
+        assert rep.success
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            solve_ring_dispersion(2)
+        with pytest.raises(ConfigurationError):
+            solve_ring_dispersion(5, f=5)
+
+
+class TestRandomBaseline:
+    def test_honest_only_succeeds_eventually(self, rc8):
+        rep = solve_random_baseline(rc8, f=0, seed=1)
+        assert rep.success
+
+    def test_clique_easy_case(self):
+        rep = solve_random_baseline(clique(6), f=0, seed=2)
+        assert rep.success
+
+    def test_squatters_permanently_deny_their_nodes(self, rc8):
+        """Without the paper's blacklist there is no recourse against a
+        fake settler: the squatted node is lost to honest robots forever.
+        (An honest finding: since n−f robots always fit in the n−f
+        remaining nodes, denial alone costs nodes and time, not
+        completion — the paper's machinery is about *guarantees*.)"""
+        rep = solve_random_baseline(
+            rc8, f=3, adversary=Adversary("squatter"), start="gathered", seed=1
+        )
+        # All three squatters sit on the gather node 0: no honest settles there.
+        assert 0 not in set(rep.settled.values())
+        clean = solve_random_baseline(rc8, f=0, start="gathered", seed=1)
+        assert 0 in set(clean.settled.values())

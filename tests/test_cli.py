@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_row_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--row", "8"])
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--row", "1", "--strategy", "teleporter"])
+
+
+class TestCommands:
+    def test_strategies_lists_zoo(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "squatter" in out and "impersonator" in out
+
+    def test_run_row5(self, capsys):
+        rc = main(["run", "--row", "5", "--n", "8", "--strategy", "squatter"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "success          : True" in out
+
+    def test_run_explicit_f(self, capsys):
+        rc = main(["run", "--row", "7", "--n", "8", "--f", "1", "--strategy", "id_cycler"])
+        assert rc == 0
+
+    def test_impossible_applies(self, capsys):
+        rc = main(["impossible", "--n", "6", "--k", "12", "--f", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "violation shown   : True" in out
+
+    def test_impossible_not_applies(self, capsys):
+        rc = main(["impossible", "--n", "6", "--k", "12", "--f", "2"])
+        out = capsys.readouterr().out
+        assert "Theorem 8 applies : False" in out
+
+    def test_tolerance_sweep(self, capsys):
+        rc = main(["tolerance", "--row", "5", "--n", "8", "--strategy", "idle"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Tolerance sweep" in out
+
+    def test_table1_small(self, capsys):
+        rc = main(["table1", "--n", "8", "--strategy", "squatter"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 1 reproduction" in out
+        # All seven rows present (row 1 applicable on the sampled graph).
+        assert out.count("\n") >= 9

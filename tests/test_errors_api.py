@@ -1,0 +1,89 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    GraphStructureError,
+    ImpossibleInstance,
+    MapError,
+    PortError,
+    ProtocolViolation,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphStructureError,
+            PortError,
+            MapError,
+            SimulationError,
+            ProtocolViolation,
+            RoundLimitExceeded,
+            ConfigurationError,
+            ImpossibleInstance,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_port_error_is_graph_error(self):
+        assert issubclass(PortError, GraphStructureError)
+
+    def test_protocol_violation_is_simulation_error(self):
+        assert issubclass(ProtocolViolation, SimulationError)
+
+    def test_impossible_instance_is_configuration_error(self):
+        assert issubclass(ImpossibleInstance, ConfigurationError)
+
+    def test_one_except_catches_library_errors(self):
+        try:
+            from repro.graphs import ring
+
+            ring(1)
+        except ReproError:
+            pass
+        else:
+            pytest.fail("expected a ReproError subclass")
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_solvers_exported(self):
+        for i in range(1, 8):
+            assert callable(getattr(repro, f"solve_theorem{i}"))
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.byzantine
+        import repro.core
+        import repro.gathering
+        import repro.graphs
+        import repro.mapping
+        import repro.sim
+
+        for module in (
+            repro.graphs,
+            repro.sim,
+            repro.byzantine,
+            repro.mapping,
+            repro.gathering,
+            repro.core,
+            repro.baselines,
+            repro.analysis,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_table1_importable_from_root(self):
+        assert len(repro.TABLE1) == 7

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are part of the public contract (deliverable (b)); breaking one
+without noticing is a release bug, so they run inside the test suite via
+subprocesses (import isolation, real CLI behaviour).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def run_example(name, *args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env=env,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,needle",
+    [
+        ("quickstart.py", "dispersed            : True"),
+        ("resource_allocation.py", "True"),
+        ("adversary_gallery.py", "No attack in the zoo defeats"),
+        ("impossibility_demo.py", "Theorem 8"),
+        ("ring_legacy.py", "Generalisation premium"),
+    ],
+)
+def test_example_runs(script, needle):
+    proc = run_example(script)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert needle in proc.stdout
+
+
+def test_table1_reproduction_small():
+    proc = run_example("table1_reproduction.py", "8")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "All applicable rows reproduced" in proc.stdout
+
+
+def test_scaling_study_small():
+    proc = run_example("scaling_study.py", "6,9,12")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "exponent gap" in proc.stdout

@@ -1,0 +1,105 @@
+"""Tests for exploration cost models and the random-walk explorer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    DEFAULT_COST_MODEL,
+    ExplorationCostModel,
+    PortLabeledGraph,
+    exploration_rounds,
+    id_length_bits,
+    random_walk_cover,
+    ring,
+)
+
+
+class TestCostModel:
+    def test_general_formula(self):
+        # n^5 * ceil(log2 n)
+        assert DEFAULT_COST_MODEL.general(8) == 8**5 * 3
+        assert DEFAULT_COST_MODEL.general(10) == 10**5 * 4
+
+    def test_max_degree_formula(self):
+        assert DEFAULT_COST_MODEL.max_degree(8, 3) == 9 * 8**3 * 3
+
+    def test_regular_formula(self):
+        assert DEFAULT_COST_MODEL.regular(8, 3) == 3 * 8**3 * 3
+
+    def test_constant_scales(self):
+        assert ExplorationCostModel(c=5).general(8) == 5 * DEFAULT_COST_MODEL.general(8)
+
+    def test_regular_cheaper_than_max_degree(self):
+        for n in (8, 16, 64):
+            for d in (3, 4):
+                assert DEFAULT_COST_MODEL.regular(n, d) < DEFAULT_COST_MODEL.max_degree(n, d)
+
+    def test_best_available_picks_regular(self):
+        g = ring(8)
+        assert DEFAULT_COST_MODEL.best_available(g) == DEFAULT_COST_MODEL.regular(8, 2)
+
+    def test_best_available_picks_max_degree(self):
+        g = PortLabeledGraph.from_edges(4, [(0, 1), (1, 2), (1, 3)])
+        assert DEFAULT_COST_MODEL.best_available(g) == DEFAULT_COST_MODEL.max_degree(4, 3)
+
+    def test_facade_precedence(self):
+        assert exploration_rounds(8) == DEFAULT_COST_MODEL.general(8)
+        assert exploration_rounds(8, max_degree=3) == DEFAULT_COST_MODEL.max_degree(8, 3)
+        assert exploration_rounds(8, regular_degree=3) == DEFAULT_COST_MODEL.regular(8, 3)
+        # regular wins over max_degree when both given
+        assert exploration_rounds(8, max_degree=5, regular_degree=3) == (
+            DEFAULT_COST_MODEL.regular(8, 3)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COST_MODEL.general(0)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COST_MODEL.regular(8, 0)
+
+    def test_monotone_in_n(self):
+        vals = [DEFAULT_COST_MODEL.general(n) for n in range(2, 30)]
+        assert vals == sorted(vals)
+
+
+class TestRandomWalk:
+    def test_covers_graph(self, zoo_graph):
+        steps, order = random_walk_cover(zoo_graph, 0, np.random.default_rng(0))
+        assert sorted(order) == list(range(zoo_graph.n))
+        assert steps >= zoo_graph.n - 1
+
+    def test_cost_model_upper_bounds_walk(self):
+        """The paper's X(n) formulas dominate measured cover times on the
+        benchmark families by construction — sanity check at small n."""
+        g = ring(9)
+        steps, _ = random_walk_cover(g, 0, np.random.default_rng(1))
+        assert steps <= DEFAULT_COST_MODEL.regular(9, 2)
+
+    def test_budget_exhaustion_raises(self):
+        g = ring(12)
+        with pytest.raises(ConfigurationError):
+            random_walk_cover(g, 0, np.random.default_rng(0), max_steps=2)
+
+    def test_disconnected_rejected(self):
+        g = PortLabeledGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            random_walk_cover(g, 0, np.random.default_rng(0))
+
+    def test_deterministic_under_seed(self):
+        g = ring(8)
+        s1, o1 = random_walk_cover(g, 0, np.random.default_rng(42))
+        s2, o2 = random_walk_cover(g, 0, np.random.default_rng(42))
+        assert (s1, o1) == (s2, o2)
+
+
+class TestIdLength:
+    def test_bit_lengths(self):
+        assert id_length_bits([1]) == 1
+        assert id_length_bits([1, 2, 3]) == 2
+        assert id_length_bits([255]) == 8
+        assert id_length_bits([256]) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            id_length_bits([0, 5])

@@ -1,0 +1,155 @@
+"""Tests for the graph family generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    FAMILIES,
+    clique,
+    complete_bipartite,
+    erdos_renyi,
+    hypercube,
+    lollipop,
+    path,
+    quotient_graph,
+    random_connected,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+    view_partition,
+)
+
+
+class TestRing:
+    def test_sizes(self):
+        for n in (3, 4, 9):
+            g = ring(n)
+            assert g.n == n and g.m == n and g.is_regular()
+
+    def test_canonical_labeling_symmetric(self):
+        g = ring(6)
+        for u in range(6):
+            assert g.traverse(u, 1) == ((u + 1) % 6, 2)
+            assert g.traverse(u, 2) == ((u - 1) % 6, 1)
+
+    def test_canonical_quotient_collapses(self):
+        assert quotient_graph(ring(8)).num_classes == 1
+
+    def test_seeded_variant_valid(self):
+        g = ring(7, seed=2)
+        assert g.n == 7 and g.m == 7
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            ring(2)
+
+
+class TestClique:
+    def test_sizes(self):
+        g = clique(5)
+        assert g.n == 5 and g.m == 10
+
+    def test_circulant_labeling_collapses(self):
+        assert quotient_graph(clique(6)).num_classes == 1
+
+    def test_circulant_structure(self):
+        g = clique(5)
+        for u in range(5):
+            for p in range(1, 5):
+                assert g.traverse(u, p) == ((u + p) % 5, 5 - p)
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            clique(1)
+
+
+class TestHypercubeTorus:
+    def test_hypercube_sizes(self):
+        g = hypercube(3)
+        assert g.n == 8 and g.m == 12 and g.is_regular()
+
+    def test_hypercube_dimension_ports(self):
+        g = hypercube(3)
+        for u in range(8):
+            for p in range(1, 4):
+                v, q = g.traverse(u, p)
+                assert v == u ^ (1 << (p - 1)) and q == p
+
+    def test_hypercube_collapses(self):
+        assert quotient_graph(hypercube(4)).num_classes == 1
+
+    def test_torus_sizes(self):
+        g = torus(3, 4)
+        assert g.n == 12 and g.m == 24 and g.is_regular()
+
+    def test_torus_collapses(self):
+        assert quotient_graph(torus(3, 3)).num_classes == 1
+
+    def test_torus_too_small(self):
+        with pytest.raises(ConfigurationError):
+            torus(2, 5)
+
+
+class TestOtherFamilies:
+    def test_path_endpoints(self):
+        g = path(5)
+        degs = sorted(g.degree(u) for u in range(5))
+        assert degs == [1, 1, 2, 2, 2]
+
+    def test_star_hub(self):
+        g = star(6)
+        assert g.max_degree() == 5 and g.m == 5
+
+    def test_random_regular_connected(self):
+        g = random_regular(10, 3, seed=0)
+        assert g.is_connected() and g.is_regular() and g.degree(0) == 3
+
+    def test_random_regular_impossible(self):
+        with pytest.raises(ConfigurationError):
+            random_regular(5, 3, seed=0)  # odd n*d
+
+    def test_erdos_renyi_connected(self):
+        g = erdos_renyi(12, 0.3, seed=1)
+        assert g.is_connected() and g.n == 12
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(9, seed=4)
+        assert g.n == 9 and g.m == 8 and g.is_connected()
+
+    def test_random_tree_n2(self):
+        g = random_tree(2, seed=0)
+        assert g.m == 1
+
+    def test_lollipop_shape(self):
+        g = lollipop(4, 3)
+        assert g.n == 7 and g.is_connected()
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.n == 7 and g.m == 12
+
+    def test_random_connected_connected_and_dense_enough(self):
+        for seed in range(5):
+            g = random_connected(10, seed=seed)
+            assert g.is_connected()
+            assert g.m >= g.n - 1
+
+    def test_random_connected_usually_view_distinct(self):
+        # Asymmetric random graphs are view-distinguishable w.h.p.; check a
+        # majority of seeds to avoid over-fitting a single lucky instance.
+        hits = sum(
+            1
+            for seed in range(8)
+            if len(set(view_partition(random_connected(11, seed=seed)))) == 11
+        )
+        assert hits >= 6
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_registry_generates_connected(self, name):
+        g = FAMILIES[name](9, seed=2)
+        assert g.is_connected()
+        assert g.n >= 8  # registry may round n for parity constraints

@@ -1,0 +1,75 @@
+"""Property tests: group-based theorems under randomized adversary draws.
+
+Hypothesis draws the Byzantine subset, a per-robot strategy assignment,
+and the graph; the theorems must hold every time.  This is the widest
+net over the believe-threshold machinery (Sections 3.2–4).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.byzantine import Adversary, STRONG_STRATEGIES, WEAK_STRATEGIES
+from repro.core import solve_theorem4, solve_theorem6
+from repro.graphs import random_connected
+
+
+@st.composite
+def weak_assignment(draw, f_max):
+    f = draw(st.integers(0, f_max))
+    ids = draw(
+        st.lists(st.integers(1, 12), min_size=f, max_size=f, unique=True)
+    )
+    strategies = draw(
+        st.lists(st.sampled_from(WEAK_STRATEGIES), min_size=f, max_size=f)
+    )
+    return dict(zip(ids, strategies))
+
+
+@given(
+    seed=st.integers(0, 150),
+    data=st.data(),
+)
+@settings(max_examples=25)
+def test_theorem4_random_weak_adversaries(seed, data):
+    g = random_connected(12, seed=seed)
+    f_max = 12 // 3 - 1
+    assignment = data.draw(weak_assignment(f_max))
+    f = len(assignment)
+    # Corrupt exactly the drawn IDs via explicit placement: remap the drawn
+    # IDs onto the actual f lowest/highest/random choice by strategy dict.
+    adv = Adversary(
+        {rid: s for rid, s in zip(range(1, f + 1), assignment.values())},
+        seed=seed,
+    )
+    rep = solve_theorem4(g, f=f, adversary=adv, seed=seed, byz_placement="lowest")
+    assert rep.success, (assignment, rep.violations)
+
+
+@given(
+    seed=st.integers(0, 150),
+    strategy_pair=st.tuples(
+        st.sampled_from(STRONG_STRATEGIES), st.sampled_from(STRONG_STRATEGIES)
+    ),
+    placement=st.sampled_from(["lowest", "highest", "random"]),
+)
+@settings(max_examples=25)
+def test_theorem6_random_strong_adversaries(seed, strategy_pair, placement):
+    g = random_connected(12, seed=seed)
+    f = 12 // 4 - 1  # = 2
+    adv = Adversary({1: strategy_pair[0], 2: strategy_pair[1]}, seed=seed)
+    rep = solve_theorem6(g, f=f, adversary=adv, seed=seed, byz_placement=placement)
+    assert rep.success, (strategy_pair, placement, rep.violations)
+
+
+@given(seed=st.integers(0, 100), f=st.integers(0, 2))  # n=10: f_max = 2
+@settings(max_examples=20)
+def test_theorem4_settlements_are_a_permutation(seed, f):
+    """Beyond success: with n robots on n nodes and f Byzantine, the
+    honest robots occupy n − f distinct nodes (full packing is not
+    required by Definition 1 but distinctness is)."""
+    g = random_connected(10, seed=seed)
+    rep = solve_theorem4(g, f=f, adversary=Adversary("squatter", seed=seed), seed=seed)
+    assert rep.success
+    nodes = [v for v in rep.settled.values() if v is not None]
+    assert len(nodes) == 10 - f
+    assert len(set(nodes)) == len(nodes)

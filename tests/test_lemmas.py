@@ -1,0 +1,163 @@
+"""Property-based tests of the paper's lemmas (Section 2.2).
+
+These are the reproduction's heart: Hypothesis draws random graphs,
+Byzantine counts/placements and adversary strategies, and we assert the
+paper's invariants hold in every generated world:
+
+* **Observation 1** — a robot alone at a node settles there.
+* **Lemma 2** — no honest robot ever blacklists an honest robot.
+* **Lemma 3** — no two honest robots settle at the same node.
+* **Lemma 4** — every honest robot settles within O(n) rounds.
+
+All tests run the Theorem 1 pipeline (every robot holds a correct private
+map), which is exactly the procedure's pre-condition.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.byzantine import WEAK_STRATEGIES, Adversary
+from repro.core.dispersion_using_map import (
+    DispersionMemory,
+    dispersion_rounds_bound,
+    dispersion_using_map,
+)
+from repro.core.find_map import private_quotient_map
+from repro.graphs import is_quotient_isomorphic, random_connected
+from repro.sim import World, finish_report
+
+
+def _view_distinct_graph(n, seed):
+    """Draw a view-distinguishable connected graph (resample on symmetry)."""
+    for offset in range(50):
+        g = random_connected(n, seed=seed + 1000 * offset)
+        if is_quotient_isomorphic(g):
+            return g
+    raise AssertionError("could not sample a view-distinguishable graph")
+
+
+def _build(n, seed, f, strategy, placement_seed, byz_low):
+    g = _view_distinct_graph(n, seed)
+    rng = np.random.default_rng(placement_seed)
+    w = World(g)
+    mems = {}
+    ids = list(range(1, n + 1))
+    byz = set(ids[:f]) if byz_low else set(ids[-f:] if f else [])
+    adv = Adversary(strategy, seed=seed)
+    for rid in ids:
+        node = int(rng.integers(0, n))
+        if rid in byz:
+            w.add_robot(rid, node, adv.program_factory(rid), byzantine=True)
+        else:
+            mem = DispersionMemory()
+            mems[rid] = mem
+            map_rng = np.random.default_rng((seed, rid))
+            mg, root = private_quotient_map(g, node, map_rng)
+
+            def factory(api, _mg=mg, _root=root, _mem=mem):
+                return dispersion_using_map(api, _mg, _root, memory=_mem)
+
+            w.add_robot(rid, node, factory)
+    return g, w, mems, byz
+
+
+strategy_st = st.sampled_from(WEAK_STRATEGIES)
+
+
+@given(
+    n=st.integers(5, 10),
+    seed=st.integers(0, 500),
+    f=st.integers(0, 9),
+    strategy=strategy_st,
+    placement_seed=st.integers(0, 100),
+    byz_low=st.booleans(),
+)
+@settings(max_examples=40)
+def test_lemma3_no_two_honest_settle_together(n, seed, f, strategy, placement_seed, byz_low):
+    f = min(f, n - 1)
+    g, w, mems, byz = _build(n, seed, f, strategy, placement_seed, byz_low)
+    w.run(max_rounds=dispersion_rounds_bound(n) + 8)
+    positions = [
+        r.settled_node for r in w.robots.values()
+        if not r.byzantine and r.settled_node is not None
+    ]
+    assert len(positions) == len(set(positions))
+
+
+@given(
+    n=st.integers(5, 10),
+    seed=st.integers(0, 500),
+    f=st.integers(0, 9),
+    strategy=strategy_st,
+    placement_seed=st.integers(0, 100),
+    byz_low=st.booleans(),
+)
+@settings(max_examples=40)
+def test_lemma2_honest_never_blacklist_honest(n, seed, f, strategy, placement_seed, byz_low):
+    f = min(f, n - 1)
+    g, w, mems, byz = _build(n, seed, f, strategy, placement_seed, byz_low)
+    w.run(max_rounds=dispersion_rounds_bound(n) + 8)
+    honest = set(range(1, n + 1)) - byz
+    for mem in mems.values():
+        assert mem.blacklist.isdisjoint(honest)
+
+
+@given(
+    n=st.integers(5, 10),
+    seed=st.integers(0, 500),
+    f=st.integers(0, 9),
+    strategy=strategy_st,
+    placement_seed=st.integers(0, 100),
+    byz_low=st.booleans(),
+)
+@settings(max_examples=40)
+def test_lemma4_all_honest_settle_within_bound(n, seed, f, strategy, placement_seed, byz_low):
+    f = min(f, n - 1)
+    g, w, mems, byz = _build(n, seed, f, strategy, placement_seed, byz_low)
+    w.run(max_rounds=dispersion_rounds_bound(n) + 8)
+    rep = finish_report(w)
+    assert rep.success, rep.violations
+    assert rep.rounds_simulated <= dispersion_rounds_bound(n) + 8
+
+
+@given(
+    n=st.integers(4, 9),
+    seed=st.integers(0, 300),
+)
+@settings(max_examples=25)
+def test_observation1_lone_robot_settles(n, seed):
+    g = _view_distinct_graph(n, seed)
+    rng = np.random.default_rng(seed)
+    node = int(rng.integers(0, n))
+    w = World(g)
+    mg, root = private_quotient_map(g, node, np.random.default_rng((seed, 1)))
+    w.add_robot(1, node, lambda api: dispersion_using_map(api, mg, root))
+    w.run(max_rounds=4)
+    assert w.robots[1].settled_node == node
+    assert w.round <= 2
+
+
+@given(
+    n=st.integers(5, 9),
+    seed=st.integers(0, 300),
+    strategy=strategy_st,
+)
+@settings(max_examples=25)
+def test_settled_honest_never_move(n, seed, strategy):
+    """Once settled, an honest robot's position is frozen forever — the
+    fact Lemma 2 rests on."""
+    f = n // 2
+    g, w, mems, byz = _build(n, seed, f, strategy, seed, True)
+    first_settle = {}
+    for _ in range(dispersion_rounds_bound(n) + 8):
+        w.step()
+        for r in w.robots.values():
+            if r.byzantine:
+                continue
+            if r.settled_node is not None:
+                if r.true_id in first_settle:
+                    assert first_settle[r.true_id] == (r.settled_node, r.node)
+                else:
+                    first_settle[r.true_id] = (r.settled_node, r.node)
+        if w.all_honest_done():
+            break

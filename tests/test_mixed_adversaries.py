@@ -1,0 +1,107 @@
+"""Integration tests with heterogeneous and phase-aware adversaries.
+
+Real adversaries do not all run the same playbook.  These tests mix
+strategies within one run and include defect-late robots (cooperative
+silence through the mapping phase, sabotage during dispersion — the
+``sleeper`` combinator), plus larger instances than the unit tests use.
+"""
+
+import pytest
+
+from repro.byzantine import Adversary, get_strategy, sleeper
+from repro.core import (
+    solve_theorem1,
+    solve_theorem3,
+    solve_theorem4,
+    solve_theorem6,
+)
+from repro.graphs import random_connected
+
+
+@pytest.fixture(scope="module")
+def g12():
+    g = random_connected(12, seed=7)
+    from repro.graphs import is_quotient_isomorphic
+
+    assert is_quotient_isomorphic(g)
+    return g
+
+
+class TestHeterogeneousMixes:
+    def test_theorem1_mixed_zoo(self, g12):
+        adv = Adversary(
+            {
+                1: "squatter",
+                2: "ghost_squatter",
+                3: "flag_spammer",
+                4: "stalker",
+                5: "random_walker",
+                6: "crash",
+            },
+            seed=3,
+        )
+        rep = solve_theorem1(g12, f=6, adversary=adv, seed=5)
+        assert rep.success, rep.violations
+
+    def test_theorem3_mixed_zoo(self, g12):
+        adv = Adversary(
+            {1: "false_commander", 2: "decoy_token", 3: "random_walker",
+             4: "squatter", 5: "idle"},
+            seed=3,
+        )
+        rep = solve_theorem3(g12, f=5, adversary=adv, seed=5)
+        assert rep.success, rep.violations
+
+    def test_theorem4_mixed(self, g12):
+        adv = Adversary({1: "false_commander", 2: "ghost_squatter", 3: "stalker"}, seed=3)
+        rep = solve_theorem4(g12, f=3, adversary=adv, seed=5)
+        assert rep.success, rep.violations
+
+    def test_theorem6_mixed_strong(self, g12):
+        adv = Adversary({1: "impersonator", 2: "id_cycler"}, seed=3)
+        rep = solve_theorem6(g12, f=2, adversary=adv, seed=5)
+        assert rep.success, rep.violations
+
+
+class TestDefectLate:
+    def test_sleeper_defects_during_dispersion(self, g12):
+        """Byzantine robots that stay dead through the mapping phase and
+        wake as fake settlers exactly when dispersion starts."""
+        rep_probe = solve_theorem4(g12, f=0, seed=5)
+        # Mapping phase length ~= total honest rounds minus the O(n) tail.
+        wake = max(rep_probe.rounds_simulated - 3 * g12.n, 1)
+        defector = sleeper(wake, get_strategy("ghost_squatter"))
+        rep = solve_theorem4(g12, f=3, adversary=Adversary(defector, seed=4), seed=5)
+        assert rep.success, rep.violations
+
+    def test_sleeper_defects_mid_mapping(self, g12):
+        probe = solve_theorem3(g12, f=0, seed=5)
+        wake = probe.rounds_simulated // 2
+        defector = sleeper(wake, get_strategy("random_walker"))
+        rep = solve_theorem3(g12, f=5, adversary=Adversary(defector, seed=4), seed=5)
+        assert rep.success, rep.violations
+
+
+class TestLargerInstances:
+    def test_theorem1_n16(self):
+        g = random_connected(16, seed=3)
+        from repro.graphs import is_quotient_isomorphic
+
+        if not is_quotient_isomorphic(g):
+            pytest.skip("sampled graph not view-distinct")
+        rep = solve_theorem1(g, f=15, adversary=Adversary("ghost_squatter"), seed=2)
+        assert rep.success
+
+    def test_theorem4_n15(self):
+        g = random_connected(15, seed=9)
+        rep = solve_theorem4(g, f=4, adversary=Adversary("squatter"), seed=2)
+        assert rep.success, rep.violations
+
+    def test_theorem6_n16(self):
+        g = random_connected(16, seed=9)
+        rep = solve_theorem6(g, f=3, adversary=Adversary("impersonator"), seed=2)
+        assert rep.success, rep.violations
+
+    def test_theorem3_n12_full_tolerance(self, g12):
+        rep = solve_theorem3(g12, f=5, adversary=Adversary("ghost_squatter"), seed=2)
+        assert rep.success, rep.violations

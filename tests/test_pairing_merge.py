@@ -1,0 +1,104 @@
+"""Tests for pairing schedules and map-majority voting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graphs import canonical_form, random_connected, ring
+from repro.mapping import (
+    decode_canonical,
+    majority_encoding,
+    majority_map,
+    paper_pairing_schedule,
+    pairs_covered,
+    round_robin_schedule,
+)
+
+
+class TestPaperSchedule:
+    @given(k=st.integers(2, 24))
+    @settings(max_examples=23)
+    def test_all_pairs_covered(self, k):
+        ids = list(range(1, k + 1))
+        schedule = paper_pairing_schedule(ids)
+        expected = {(a, b) for a in ids for b in ids if a < b}
+        assert pairs_covered(schedule) == expected
+
+    @given(k=st.integers(2, 24))
+    @settings(max_examples=23)
+    def test_slots_linear(self, k):
+        """O(n) slots — the source of the O(n^4) bound in Theorem 3."""
+        slots = len(paper_pairing_schedule(range(k)))
+        assert slots <= 2 * k + 2 * max(k.bit_length(), 1)
+
+    def test_each_robot_once_per_slot(self):
+        schedule = paper_pairing_schedule(range(10))
+        for slot in schedule:
+            used = [x for pair in slot for x in pair]
+            assert len(used) == len(set(used))
+
+    def test_deterministic_in_roster(self):
+        assert paper_pairing_schedule([3, 1, 2]) == paper_pairing_schedule([1, 2, 3])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_pairing_schedule([1, 1, 2])
+
+    def test_trivial_rosters(self):
+        assert paper_pairing_schedule([1]) == []
+        assert paper_pairing_schedule([1, 2]) == [[(1, 2)]]
+
+
+class TestRoundRobin:
+    @given(k=st.integers(2, 20))
+    @settings(max_examples=19)
+    def test_all_pairs_covered(self, k):
+        ids = list(range(1, k + 1))
+        expected = {(a, b) for a in ids for b in ids if a < b}
+        assert pairs_covered(round_robin_schedule(ids)) == expected
+
+    @given(k=st.integers(2, 20))
+    @settings(max_examples=19)
+    def test_optimal_slot_count(self, k):
+        slots = len(round_robin_schedule(range(k)))
+        assert slots == (k - 1 if k % 2 == 0 else k)
+
+    def test_fewer_slots_than_paper(self):
+        # The ablation claim: the circle method needs no more slots.
+        for k in (6, 10, 16):
+            assert len(round_robin_schedule(range(k))) <= len(
+                paper_pairing_schedule(range(k))
+            )
+
+
+class TestMajority:
+    def test_majority_encoding_picks_most_common(self):
+        a, b = ("A",), ("B",)
+        assert majority_encoding([a, a, b, None]) == a
+
+    def test_all_none(self):
+        assert majority_encoding([None, None]) is None
+
+    def test_decode_round_trip(self, zoo_graph):
+        enc = canonical_form(zoo_graph, 0)
+        g2 = decode_canonical(enc)
+        assert canonical_form(g2, 0) == enc
+        assert g2.n == zoo_graph.n and g2.m == zoo_graph.m
+
+    def test_majority_map_object_level(self):
+        g = random_connected(7, seed=2)
+        good = g.relabel(list(range(7)))
+        garbage = ring(7)
+        winner = majority_map([good, good, garbage, None])
+        assert winner is not None
+        assert canonical_form(winner, 0) == canonical_form(g, 0)
+
+    def test_majority_map_correct_under_f_bound(self):
+        """n-f-1 good candidates vs f bad ones: good always wins when
+        f <= n/2 - 1 (the Theorem 3 counting argument)."""
+        n = 9
+        g = random_connected(n, seed=4)
+        f = n // 2 - 1
+        candidates = [g] * (n - f - 1) + [ring(n)] * f
+        winner = majority_map(candidates)
+        assert canonical_form(winner, 0) == canonical_form(g, 0)

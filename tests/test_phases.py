@@ -1,0 +1,147 @@
+"""Tests for the shared program phases (roster, pairing timing, rank walk)."""
+
+import pytest
+
+from repro.core.phases import (
+    SCHEDULES,
+    pairing_phase_rounds,
+    rank_dispersion_phase,
+    roster_phase,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import bfs_order, random_connected, ring
+from repro.sim import SETTLED, Stay, World
+
+
+def run_roster(world, ids, node=0):
+    outs = {}
+    for rid in ids:
+        out = {}
+        outs[rid] = out
+
+        def factory(api, _out=out):
+            def program(api=api, out=_out):
+                yield from roster_phase(api, out)
+                while True:
+                    yield Stay()
+
+            return program()
+
+        world.add_robot(rid, node, factory)
+    for _ in range(3):
+        world.step()
+    return outs
+
+
+class TestRosterPhase:
+    def test_all_honest_same_roster(self):
+        w = World(ring(5))
+        outs = run_roster(w, [3, 7, 11])
+        for out in outs.values():
+            assert out["roster"] == [3, 7, 11]
+
+    def test_byzantine_counted_by_physical_presence(self):
+        w = World(ring(5))
+
+        def byz(api):
+            while True:
+                yield Stay()
+
+        w.add_robot(2, 0, byz, byzantine=True)
+        outs = run_roster(w, [3, 7])
+        for out in outs.values():
+            assert out["roster"] == [2, 3, 7]
+
+    def test_absent_robots_excluded(self):
+        w = World(ring(5))
+
+        def byz(api):
+            while True:
+                yield Stay()
+
+        w.add_robot(2, 3, byz, byzantine=True)  # elsewhere
+        outs = run_roster(w, [3, 7], node=0)
+        for out in outs.values():
+            assert out["roster"] == [3, 7]
+
+    def test_strong_faker_cannot_mint_extra_entries(self):
+        """One body = one roster entry: a strong Byzantine robot can rename
+        itself but never inflate k (the Section 4 phantom-ID concern)."""
+        w = World(ring(5), model="strong")
+
+        def faker(api):
+            api.set_claimed_id(99)
+            api.say(("hello", 98))  # message spam must be ignored
+            api.say(("hello", 97))
+            while True:
+                yield Stay()
+
+        w.add_robot(1, 0, faker, byzantine=True)
+        outs = run_roster(w, [3, 7])
+        for out in outs.values():
+            assert out["roster"] == [3, 7, 99]  # one entry, renamed
+
+    def test_strong_faker_hiding_behind_honest_id(self):
+        w = World(ring(5), model="strong")
+
+        def shadow(api):
+            api.set_claimed_id(3)  # claim an honest robot's ID
+            while True:
+                yield Stay()
+
+        w.add_robot(1, 0, shadow, byzantine=True)
+        outs = run_roster(w, [3, 7])
+        for out in outs.values():
+            assert out["roster"] == [3, 7]  # dedup: honest IDs survive
+
+
+class TestPairingTiming:
+    def test_phase_rounds_formula(self):
+        from repro.mapping import paper_pairing_schedule, run_slot_rounds
+
+        n, tb = 8, 20
+        expected = len(paper_pairing_schedule(range(1, 9))) * 2 * run_slot_rounds(tb)
+        assert pairing_phase_rounds(n, tb) == expected
+
+    def test_round_robin_fewer_or_equal_rounds(self):
+        for n in (6, 8, 9, 12):
+            assert pairing_phase_rounds(n, 10, "round_robin") <= pairing_phase_rounds(
+                n, 10, "paper"
+            )
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            pairing_phase_rounds(8, 10, "zigzag")
+
+    def test_schedules_registry(self):
+        assert set(SCHEDULES) == {"paper", "round_robin"}
+
+
+class TestRankDispersion:
+    def test_each_rank_gets_distinct_node(self):
+        g = random_connected(7, seed=2)
+        w = World(g)
+        roster = [2, 5, 9]
+        for rid in roster:
+
+            def factory(api, _rid=rid):
+                return rank_dispersion_phase(api, g, 0, roster)
+
+            w.add_robot(rid, 0, factory)
+        w.run(max_rounds=2 * g.n)
+        order = bfs_order(g, 0)
+        for i, rid in enumerate(sorted(roster)):
+            assert w.robots[rid].settled_node == order[i]
+
+    def test_rank_overflow_fails_visibly(self):
+        g = ring(4)
+        w = World(g)
+        roster = [1, 2, 3, 4, 5]  # five ranks, four nodes
+
+        def factory(api):
+            return rank_dispersion_phase(api, g, 0, roster)
+
+        w.add_robot(5, 0, factory)  # the overflowing rank
+        w.run(max_rounds=10)
+        assert w.robots[5].settled_node is None
+        assert w.trace.count("rank_overflow") == 1

@@ -1,0 +1,171 @@
+"""Unit tests for the anonymous port-labeled graph substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError, PortError
+from repro.graphs import PortLabeledGraph, ring
+
+
+def triangle():
+    return PortLabeledGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = triangle()
+        assert g.n == 3
+        assert g.m == 3
+
+    def test_nodes_must_be_contiguous(self):
+        with pytest.raises(GraphStructureError, match="nodes must be exactly"):
+            PortLabeledGraph({0: {}, 2: {}})
+
+    def test_ports_must_be_contiguous(self):
+        with pytest.raises(GraphStructureError, match="ports must be exactly"):
+            PortLabeledGraph({0: {2: (1, 1)}, 1: {1: (0, 2)}})
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(GraphStructureError, match="self-loops"):
+            PortLabeledGraph({0: {1: (0, 2), 2: (0, 1)}})
+
+    def test_parallel_edges_rejected(self):
+        with pytest.raises(GraphStructureError, match="parallel edge"):
+            PortLabeledGraph(
+                {0: {1: (1, 1), 2: (1, 2)}, 1: {1: (0, 1), 2: (0, 2)}}
+            )
+
+    def test_asymmetric_ports_rejected(self):
+        with pytest.raises(GraphStructureError, match="asymmetric"):
+            PortLabeledGraph(
+                {
+                    0: {1: (1, 1)},
+                    1: {1: (2, 1)},
+                    2: {1: (0, 1)},
+                }
+            )
+
+    def test_remote_port_out_of_range_rejected(self):
+        with pytest.raises(GraphStructureError):
+            PortLabeledGraph({0: {1: (1, 5)}, 1: {1: (0, 1)}})
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(GraphStructureError, match="out of range"):
+            PortLabeledGraph({0: {1: (7, 1)}, 1: {1: (0, 1)}})
+
+    def test_empty_graph(self):
+        g = PortLabeledGraph({})
+        assert g.n == 0 and g.m == 0
+
+    def test_single_node(self):
+        g = PortLabeledGraph({0: {}})
+        assert g.n == 1 and g.m == 0 and g.degree(0) == 0
+
+    def test_directed_networkx_rejected(self):
+        with pytest.raises(GraphStructureError):
+            PortLabeledGraph.from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphStructureError):
+            PortLabeledGraph.from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+
+class TestQueries:
+    def test_traverse_round_trip(self, zoo_graph):
+        g = zoo_graph
+        for u in range(g.n):
+            for p in g.ports(u):
+                v, q = g.traverse(u, p)
+                back, back_port = g.traverse(v, q)
+                assert (back, back_port) == (u, p)
+
+    def test_traverse_bad_port(self):
+        g = triangle()
+        with pytest.raises(PortError):
+            g.traverse(0, 3)
+        with pytest.raises(PortError):
+            g.traverse(0, 0)
+
+    def test_degree_matches_ports(self, zoo_graph):
+        g = zoo_graph
+        for u in range(g.n):
+            assert g.degree(u) == len(list(g.ports(u)))
+
+    def test_edge_count_consistent(self, zoo_graph):
+        g = zoo_graph
+        assert sum(g.degree(u) for u in range(g.n)) == 2 * g.m
+        assert len(list(g.edges())) == g.m
+
+    def test_neighbours_and_port_to(self):
+        g = triangle()
+        for u in range(3):
+            for v in g.neighbours(u):
+                p = g.port_to(u, v)
+                assert g.traverse(u, p)[0] == v
+
+    def test_port_to_missing_edge(self):
+        g = PortLabeledGraph.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(PortError):
+            g.port_to(0, 2)
+
+    def test_max_degree(self):
+        g = PortLabeledGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+
+    def test_is_connected(self):
+        assert triangle().is_connected()
+        g = PortLabeledGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+
+    def test_is_regular(self):
+        assert ring(5).is_regular()
+        assert not PortLabeledGraph.from_edges(3, [(0, 1), (1, 2)]).is_regular()
+
+
+class TestRelabel:
+    def test_relabel_preserves_structure(self, zoo_graph):
+        g = zoo_graph
+        perm = list(reversed(range(g.n)))
+        h = g.relabel(perm)
+        assert h.n == g.n and h.m == g.m
+        for u in range(g.n):
+            assert h.degree(perm[u]) == g.degree(u)
+            for p in g.ports(u):
+                v, q = g.traverse(u, p)
+                assert h.traverse(perm[u], p) == (perm[v], q)
+
+    def test_relabel_identity(self):
+        g = triangle()
+        assert g.relabel([0, 1, 2]) == g
+
+    def test_relabel_bad_perm(self):
+        with pytest.raises(GraphStructureError):
+            triangle().relabel([0, 0, 1])
+
+    def test_eq_and_hash(self):
+        g1 = triangle()
+        g2 = triangle()
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != ring(4)
+
+
+class TestNetworkxRoundTrip:
+    def test_to_networkx_same_edges(self, zoo_graph):
+        g = zoo_graph
+        h = g.to_networkx()
+        assert h.number_of_nodes() == g.n
+        assert h.number_of_edges() == g.m
+        for u, p, v, q in g.edges():
+            assert h.has_edge(u, v)
+
+    def test_random_port_assignment_valid(self):
+        base = nx.cycle_graph(7)
+        g = PortLabeledGraph.from_networkx(base, rng=np.random.default_rng(3))
+        # Validation happens in the constructor; reaching here means valid.
+        assert g.n == 7 and g.m == 7
+
+    def test_port_table_round_trip(self, zoo_graph):
+        g = zoo_graph
+        assert PortLabeledGraph(g.port_table()) == g

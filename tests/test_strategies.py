@@ -1,0 +1,191 @@
+"""Tests for the adversary strategy zoo and the Adversary controller."""
+
+import numpy as np
+import pytest
+
+from repro.byzantine import (
+    STRATEGIES,
+    STRONG_STRATEGIES,
+    WEAK_STRATEGIES,
+    Adversary,
+    get_strategy,
+    sleeper,
+)
+from repro.byzantine.adversary import choose_byzantine_ids
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs import random_connected, ring
+from repro.sim import SETTLED, Stay, World
+
+
+def drive(strategy_name, model="weak", rounds=12, with_honest=True):
+    g = random_connected(7, seed=2)
+    w = World(g, model=model)
+    adv = Adversary(strategy_name, seed=5)
+    w.add_robot(1, 0, adv.program_factory(1), byzantine=True)
+    if with_honest:
+        def idle_honest(api):
+            while True:
+                yield Stay()
+
+        w.add_robot(5, 0, idle_honest)
+    w.run(max_rounds=rounds)
+    return w
+
+
+class TestStrategyZoo:
+    @pytest.mark.parametrize("name", WEAK_STRATEGIES)
+    def test_weak_strategies_run_in_weak_model(self, name):
+        w = drive(name, model="weak")
+        assert w.round > 0  # no crash
+
+    @pytest.mark.parametrize("name", STRONG_STRATEGIES)
+    def test_strong_strategies_run_in_strong_model(self, name):
+        w = drive(name, model="strong")
+        assert w.round > 0
+
+    def test_weak_model_blocks_id_faking(self):
+        with pytest.raises(SimulationError, match="strong"):
+            drive("impersonator", model="weak")
+
+    def test_squatter_claims_settled_and_stays(self):
+        w = drive("squatter")
+        r = w.robots[1]
+        assert r.state == SETTLED
+        assert r.node == 0
+        assert r.moves_made == 0
+
+    def test_ghost_squatter_moves_while_claiming_settled(self):
+        w = drive("ghost_squatter", rounds=10)
+        r = w.robots[1]
+        assert r.state == SETTLED
+        assert r.moves_made >= 1
+
+    def test_flag_spammer_raises_flag(self):
+        w = drive("flag_spammer", rounds=3)
+        assert w.robots[1].flag == 1
+
+    def test_crash_terminates_immediately(self):
+        w = drive("crash", rounds=3)
+        assert w.robots[1].terminated
+
+    def test_random_walker_moves(self):
+        w = drive("random_walker", rounds=15)
+        assert w.robots[1].moves_made >= 1
+
+    def test_stalker_reaches_target(self):
+        g = ring(8)
+        w = World(g)
+        adv = Adversary("stalker", seed=1)
+        w.add_robot(9, 4, adv.program_factory(9), byzantine=True)
+
+        def idle_honest(api):
+            while True:
+                yield Stay()
+
+        w.add_robot(1, 0, idle_honest)  # smallest honest: the target
+        w.run(max_rounds=10)
+        assert w.robots[9].node == 0  # caught up with the target
+
+    def test_impersonator_steals_honest_id(self):
+        w = drive("impersonator", model="strong", rounds=3)
+        assert w.robots[1].claimed_id == 5  # the smallest honest ID
+
+    def test_id_cycler_changes_claims(self):
+        g = random_connected(7, seed=2)
+        w = World(g, model="strong")
+        adv = Adversary("id_cycler", seed=5)
+        w.add_robot(1, 0, adv.program_factory(1), byzantine=True)
+        for rid in (4, 5, 6):  # material for the cycle
+
+            def idle_honest(api):
+                while True:
+                    yield Stay()
+
+            w.add_robot(rid, 1, idle_honest)
+        claims = set()
+        for _ in range(6):
+            w.step()
+            claims.add(w.robots[1].claimed_id)
+        assert len(claims) >= 3
+
+    def test_false_commander_posts_commands(self):
+        g = random_connected(7, seed=2)
+        w = World(g)
+        adv = Adversary("false_commander", seed=5)
+        w.add_robot(1, 0, adv.program_factory(1), byzantine=True)
+        w.step()
+        assert any(
+            p[0] == "cmd" for _, p in w.board_previous.get(0, [])
+        )
+
+    def test_sleeper_combinator(self):
+        inner = get_strategy("squatter")
+        s = sleeper(3, inner)
+        g = ring(5)
+        w = World(g)
+        w.add_robot(1, 0, lambda api: s(api, np.random.default_rng(0)), byzantine=True)
+        w.step()
+        assert w.robots[1].state != SETTLED  # still dormant
+        for _ in range(4):
+            w.step()
+        assert w.robots[1].state == SETTLED
+
+    def test_sleeper_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            sleeper(-1, get_strategy("idle"))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            get_strategy("teleporter")
+
+    def test_registry_covers_lists(self):
+        for name in WEAK_STRATEGIES + STRONG_STRATEGIES:
+            assert name in STRATEGIES
+
+
+class TestAdversaryController:
+    def test_choose_lowest(self):
+        assert choose_byzantine_ids([5, 1, 9, 3], 2, "lowest") == [1, 3]
+
+    def test_choose_highest(self):
+        assert choose_byzantine_ids([5, 1, 9, 3], 2, "highest") == [5, 9]
+
+    def test_choose_random_deterministic(self):
+        a = choose_byzantine_ids(range(10), 4, "random", seed=3)
+        b = choose_byzantine_ids(range(10), 4, "random", seed=3)
+        assert a == b and len(a) == 4
+
+    def test_choose_zero(self):
+        assert choose_byzantine_ids([1, 2], 0, "highest") == []
+
+    def test_choose_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            choose_byzantine_ids([1, 2], 3, "lowest")
+
+    def test_heterogeneous_assignment(self):
+        adv = Adversary({1: "squatter", 2: "crash"}, seed=0)
+        g = ring(5)
+        w = World(g)
+        w.add_robot(1, 0, adv.program_factory(1), byzantine=True)
+        w.add_robot(2, 1, adv.program_factory(2), byzantine=True)
+        for _ in range(3):  # run() exits instantly with no honest robots
+            w.step()
+        assert w.robots[1].state == SETTLED
+        assert w.robots[2].terminated
+
+    def test_describe(self):
+        assert Adversary("squatter").describe() == "squatter"
+        assert "1:squatter" in Adversary({1: "squatter"}).describe()
+
+    def test_callable_strategy(self):
+        def custom(api, rng):
+            while True:
+                yield Stay()
+
+        adv = Adversary(custom)
+        assert adv.describe() == "custom"
+        g = ring(4)
+        w = World(g)
+        w.add_robot(1, 0, adv.program_factory(1), byzantine=True)
+        w.run(max_rounds=2)
+        assert w.robots[1].moves_made == 0

@@ -1,0 +1,114 @@
+"""End-to-end tests for Theorems 2–5 (general graphs, weak Byzantine)."""
+
+import pytest
+
+from repro.byzantine import Adversary
+from repro.core import (
+    solve_theorem2,
+    solve_theorem3,
+    solve_theorem4,
+    solve_theorem5,
+)
+from repro.errors import ConfigurationError
+from repro.gathering import hirose_gathering_rounds, weak_gathering_rounds
+from repro.graphs import random_connected, ring, torus
+
+
+STRATS = ["squatter", "ghost_squatter", "flag_spammer", "random_walker", "idle",
+          "false_commander", "decoy_token", "crash", "stalker"]
+
+
+class TestTheorem3:
+    def test_all_honest(self, rc8):
+        rep = solve_theorem3(rc8, f=0)
+        assert rep.success
+        assert rep.rounds_charged == 0  # fully simulated
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_strategy_zoo_at_bound(self, rc8, strategy):
+        rep = solve_theorem3(rc8, f=3, adversary=Adversary(strategy, seed=11))
+        assert rep.success, rep.violations
+
+    def test_works_on_symmetric_graphs(self):
+        """Unlike Theorem 1, Theorem 3 has no graph-class restriction —
+        a vertex-transitive torus is fine (token mapping, not views)."""
+        g = torus(3, 3)
+        rep = solve_theorem4(g, f=1, adversary=Adversary("squatter"))
+        assert rep.success
+
+    def test_rejects_f_beyond_bound(self, rc8):
+        with pytest.raises(ConfigurationError):
+            solve_theorem3(rc8, f=4)  # n/2-1 = 3
+
+    def test_byz_placement_variants(self, rc8):
+        for bp in ("lowest", "highest", "random"):
+            rep = solve_theorem3(
+                rc8, f=3, adversary=Adversary("random_walker", seed=2), byz_placement=bp
+            )
+            assert rep.success, (bp, rep.violations)
+
+    def test_meta_records_tick_budget(self, rc8):
+        rep = solve_theorem3(rc8, f=1, adversary=Adversary("idle"))
+        assert rep.meta["tick_budget"] > 0
+        assert rep.meta["theorem"] == 3
+
+
+class TestTheorem2:
+    def test_charges_gathering(self, rc8):
+        rep = solve_theorem2(rc8, f=3, adversary=Adversary("squatter"))
+        assert rep.success
+        honest = list(range(4, 9))
+        assert rep.rounds_charged == weak_gathering_rounds(rc8, honest)
+        assert rep.phases[0][0] == "gathering_dpp_weak"
+
+    def test_charge_dominates_simulated(self, rc8):
+        rep = solve_theorem2(rc8, f=2, adversary=Adversary("idle"))
+        assert rep.rounds_charged > rep.rounds_simulated
+
+
+class TestTheorem4:
+    def test_all_honest(self, rc8):
+        rep = solve_theorem4(rc8, f=0)
+        assert rep.success
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_strategy_zoo_at_bound(self, rc10, strategy):
+        rep = solve_theorem4(rc10, f=2, adversary=Adversary(strategy, seed=13))
+        assert rep.success, rep.violations
+
+    def test_faster_than_theorem3(self, rc10):
+        """The O(n³) vs O(n⁴) separation: three runs beat O(n) pairings."""
+        r3 = solve_theorem3(rc10, f=2, adversary=Adversary("idle"))
+        r4 = solve_theorem4(rc10, f=2, adversary=Adversary("idle"))
+        assert r4.rounds_simulated < r3.rounds_simulated
+
+    def test_rejects_f_beyond_bound(self, rc10):
+        with pytest.raises(ConfigurationError):
+            solve_theorem4(rc10, f=3)  # n/3-1 = 2
+
+
+class TestTheorem5:
+    def test_all_honest(self, rc8):
+        rep = solve_theorem5(rc8, f=0)
+        assert rep.success
+
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_strategy_zoo_at_bound(self, rc8, strategy):
+        rep = solve_theorem5(rc8, f=1, adversary=Adversary(strategy, seed=17))
+        assert rep.success, rep.violations
+
+    def test_charges_hirose(self, rc8):
+        f = 1
+        rep = solve_theorem5(rc8, f=f, adversary=Adversary("idle"))
+        assert rep.rounds_charged == hirose_gathering_rounds(rc8, list(range(1, 9)), f)
+
+    def test_hirose_cheaper_than_dpp(self, rc8):
+        """The Table 1 separation between rows 2 and 3."""
+        r2 = solve_theorem2(rc8, f=1, adversary=Adversary("idle"))
+        r5 = solve_theorem5(rc8, f=1, adversary=Adversary("idle"))
+        assert r5.rounds_charged < r2.rounds_charged
+
+    def test_rejects_f_beyond_group_bound(self, rc8):
+        # n=8: half group 4, usable f <= ceil(4/2)-1 = 1
+        with pytest.raises(ConfigurationError):
+            solve_theorem5(rc8, f=2)

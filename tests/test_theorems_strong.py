@@ -1,0 +1,70 @@
+"""End-to-end tests for Theorems 6–7 (strong Byzantine robots)."""
+
+import pytest
+
+from repro.byzantine import STRONG_STRATEGIES, Adversary
+from repro.core import solve_theorem6, solve_theorem7
+from repro.errors import ConfigurationError
+from repro.gathering import strong_gathering_rounds
+from repro.graphs import random_connected, torus
+
+
+class TestTheorem6:
+    def test_all_honest(self, rc8):
+        rep = solve_theorem6(rc8, f=0)
+        assert rep.success
+
+    @pytest.mark.parametrize("strategy", STRONG_STRATEGIES)
+    def test_strategy_zoo_at_bound(self, rc8, strategy):
+        rep = solve_theorem6(rc8, f=1, adversary=Adversary(strategy, seed=23))
+        assert rep.success, (strategy, rep.violations)
+
+    def test_larger_instance_with_more_byzantine(self):
+        g = random_connected(13, seed=11)
+        for strategy in ("impersonator", "id_cycler", "squatter"):
+            rep = solve_theorem6(g, f=2, adversary=Adversary(strategy, seed=5))
+            assert rep.success, (strategy, rep.violations)
+
+    def test_symmetric_graph_ok(self):
+        rep = solve_theorem6(torus(3, 3), f=1, adversary=Adversary("id_cycler"))
+        assert rep.success
+
+    def test_rank_dispersion_is_linear_tail(self, rc8):
+        """After mapping, the dispersion tail is <= n rounds (no
+        negotiation): total simulated rounds stay close to the mapping
+        phase length."""
+        rep = solve_theorem6(rc8, f=1, adversary=Adversary("impersonator"))
+        from repro.mapping import run_slot_rounds
+
+        tb = rep.meta["tick_budget"]
+        phase_len = 2 + run_slot_rounds(tb, exchange=True)
+        assert rep.rounds_simulated <= phase_len + rc8.n + 4
+
+    def test_rejects_f_beyond_bound(self, rc8):
+        with pytest.raises(ConfigurationError):
+            solve_theorem6(rc8, f=2)  # n/4-1 = 1
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ConfigurationError):
+            solve_theorem6(random_connected(3, seed=0), f=0)
+
+
+class TestTheorem7:
+    def test_charges_exponential(self, rc8):
+        rep = solve_theorem7(rc8, f=1, adversary=Adversary("id_cycler"))
+        assert rep.success
+        assert rep.rounds_charged == strong_gathering_rounds(rc8)
+        assert rep.rounds_charged == 2**8 * 64
+
+    def test_exponential_dominates_everything(self, rc8):
+        """Table 1's rows 6 vs 7: same algorithm body, but the arbitrary
+        start pays an exponential gathering charge."""
+        r6 = solve_theorem6(rc8, f=1, adversary=Adversary("squatter"))
+        r7 = solve_theorem7(rc8, f=1, adversary=Adversary("squatter"))
+        assert r7.rounds_total > r6.rounds_total
+        assert r7.rounds_charged >= 2 ** rc8.n
+
+    @pytest.mark.parametrize("strategy", ["impersonator", "id_cycler", "decoy_token"])
+    def test_strategies(self, rc8, strategy):
+        rep = solve_theorem7(rc8, f=1, adversary=Adversary(strategy, seed=3))
+        assert rep.success, rep.violations

@@ -1,0 +1,129 @@
+"""Edge-case tests for world semantics that protocols lean on."""
+
+import pytest
+
+from repro.graphs import ring
+from repro.sim import Move, RunReport, Stay, World, finish_report
+
+
+class TestBoardsAndMovement:
+    def test_messages_prev_read_at_destination_node(self):
+        """A robot that moves reads the *destination's* previous board —
+        the semantics the token protocol's command pickup relies on."""
+        g = ring(4)
+        w = World(g)
+        heard = []
+
+        def poster(api):  # sits at node 1, posts every round
+            while True:
+                api.say("beacon")
+                yield Stay()
+
+        def mover(api):  # hops from 0 to 1, then listens
+            yield Move(1)
+            heard.append(api.messages_prev())
+            yield Stay()
+
+        w.add_robot(1, 1, poster)
+        w.add_robot(2, 0, mover)
+        w.step()
+        w.step()
+        # Round 0: poster posted at node 1; mover moved 0->1.
+        # Round 1: mover reads node 1's round-0 board.
+        assert heard == [[(1, "beacon")]]
+
+    def test_colocated_sorted_by_claimed_id(self):
+        g = ring(4)
+        w = World(g)
+        seen = []
+
+        def observer(api):
+            seen.append([v.claimed_id for v in api.colocated()])
+            yield Stay()
+
+        def idle(api):
+            while True:
+                yield Stay()
+
+        w.add_robot(9, 0, observer)
+        w.add_robot(4, 0, idle)
+        w.add_robot(7, 0, idle)
+        w.step()
+        assert seen == [[4, 7]]
+
+    def test_terminated_robot_still_visible(self):
+        g = ring(4)
+        w = World(g)
+
+        def quick_settler(api):
+            api.settle()
+            return
+            yield  # pragma: no cover
+
+        observed = []
+
+        def late_observer(api):
+            yield Stay()
+            yield Stay()
+            observed.append([(v.claimed_id, v.state) for v in api.colocated()])
+            yield Stay()
+
+        w.add_robot(1, 0, quick_settler)
+        w.add_robot(2, 0, late_observer)
+        for _ in range(3):
+            w.step()
+        assert observed == [[(1, "Settled")]]
+
+    def test_moves_counted(self):
+        g = ring(5)
+        w = World(g)
+
+        def hopper(api):
+            for _ in range(4):
+                yield Move(1)
+            while True:
+                yield Stay()
+
+        w.add_robot(1, 0, hopper)
+        w.run(max_rounds=6)
+        assert w.robots[1].moves_made == 4
+        assert w.robots[1].node == 4
+
+
+class TestRunReport:
+    def test_rounds_total_property(self):
+        rep = RunReport(
+            success=True, rounds_simulated=10, rounds_charged=100, settled={},
+        )
+        assert rep.rounds_total == 110
+
+    def test_phases_recorded_in_order(self):
+        g = ring(4)
+        w = World(g)
+        w.charge("alpha", 5)
+        w.charge("beta", 7)
+
+        def settler(api):
+            api.settle()
+            return
+            yield  # pragma: no cover
+
+        w.add_robot(1, 0, settler)
+        w.run(max_rounds=3)
+        rep = finish_report(w)
+        assert rep.phases == [("alpha", 5), ("beta", 7)]
+        assert rep.rounds_charged == 12
+
+    def test_meta_passthrough(self):
+        g = ring(4)
+        w = World(g)
+
+        def settler(api):
+            api.settle()
+            return
+            yield  # pragma: no cover
+
+        w.add_robot(1, 0, settler)
+        w.run(max_rounds=3)
+        rep = finish_report(w, theorem=42, custom="x")
+        assert rep.meta["theorem"] == 42 and rep.meta["custom"] == "x"
