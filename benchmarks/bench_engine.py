@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Engine microbenchmark: k robots × R rounds, optimized vs seed engine.
+
+Standalone entry point around :mod:`repro.analysis.benchmark` (the same
+harness ``python -m repro bench`` drives).  Each scenario steps an
+identical robot population through both the optimized
+:class:`repro.sim.World` and the straight-line
+:class:`repro.sim.ReferenceWorld` (the seed engine, kept as executable
+specification), verifies the behavioural fingerprints match, and reports
+wall-clock times plus the speedup factor.
+
+Usage::
+
+    python benchmarks/bench_engine.py                    # defaults
+    python benchmarks/bench_engine.py --n 256 --k 192 --rounds 1000
+    python benchmarks/bench_engine.py --out BENCH_engine.json
+
+The JSON output is the repo's perf-trajectory record; the checked-in
+baseline lives at ``benchmarks/BENCH_engine.json`` and is guarded by
+``benchmarks/check_regression.py``.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.benchmark import format_report, run_benchmark, write_bench_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=96, help="graph size")
+    ap.add_argument("--k", type=int, default=64, help="robot count")
+    ap.add_argument("--rounds", type=int, default=500, help="rounds per scenario")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
+    ap.add_argument("--out", default="", help="write BENCH_engine.json here")
+    args = ap.parse_args(argv)
+
+    payload = run_benchmark(
+        n=args.n, k=args.k, rounds=args.rounds, seed=args.seed, repeats=args.repeats
+    )
+    print(format_report(payload))
+    if args.out:
+        write_bench_json(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0 if payload["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

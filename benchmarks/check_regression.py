@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Perf-regression gate: fresh engine microbenchmark vs checked-in baseline.
+
+Runs the engine microbenchmark with the *baseline's own parameters* and
+fails (exit 1) when a scenario regresses or when the optimized and
+reference engines stop agreeing behaviourally.  A scenario counts as
+regressed only when **both** signals agree, so a slow CI runner cannot
+trip the gate on its own:
+
+* wall-clock: fresh ``optimized_s`` exceeds ``--tolerance`` × the
+  recorded baseline (machine-dependent, the generous 2× of the issue
+  spec), **and**
+* speedup: the fresh same-machine ``speedup`` (reference_s/optimized_s,
+  measured in the same run, machine-independent) has dropped below the
+  baseline's speedup / ``--tolerance``.
+
+A real hot-path regression (losing the lazy snapshot, re-sorting every
+round, …) trips both comfortably; hardware variance trips at most the
+first.
+
+Usage::
+
+    python benchmarks/check_regression.py                 # guard the repo baseline
+    python benchmarks/check_regression.py --baseline other.json --tolerance 1.5
+    python benchmarks/check_regression.py --update        # refresh the baseline
+
+Intended both for CI and for local runs before committing engine changes.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.benchmark import run_benchmark, write_bench_json  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="baseline BENCH_engine.json to compare against")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="max slowdown factor vs baseline (default 2x)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline with this run instead of checking")
+    args = ap.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    params = baseline["params"]
+    fresh = run_benchmark(
+        n=params["n"], k=params["k"], rounds=params["rounds"],
+        seed=params["seed"], repeats=params["repeats"],
+    )
+
+    if args.update:
+        write_bench_json(fresh, args.baseline)
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+
+    base_by_name = {s["scenario"]: s for s in baseline["scenarios"]}
+    failures = []
+    print(f"{'scenario':<14} {'base_s':>10} {'fresh_s':>10} {'ratio':>7} "
+          f"{'speedup':>8}  verdict")
+    for s in fresh["scenarios"]:
+        name = s["scenario"]
+        base = base_by_name.get(name)
+        if base is None:
+            print(f"{name:<14} {'-':>10} {s['optimized_s']:>10.4f} {'-':>7} "
+                  f"{s['speedup']:>7.2f}x  new (no baseline)")
+            continue
+        ratio = (
+            s["optimized_s"] / base["optimized_s"]
+            if base["optimized_s"] > 0 else float("inf")
+        )
+        wall_clock_bad = ratio > args.tolerance
+        speedup_bad = s["speedup"] < base["speedup"] / args.tolerance
+        ok = s["identical"] and not (wall_clock_bad and speedup_bad)
+        verdict = "ok" if ok else "REGRESSION"
+        if not s["identical"]:
+            verdict = "BEHAVIOUR MISMATCH"
+        elif ok and wall_clock_bad:
+            verdict = "ok (slow machine: speedup held)"
+        print(f"{name:<14} {base['optimized_s']:>10.4f} {s['optimized_s']:>10.4f} "
+              f"{ratio:>6.2f}x {s['speedup']:>7.2f}x  {verdict}")
+        if not ok:
+            failures.append(name)
+    if failures:
+        print(f"FAIL: {len(failures)} scenario(s) regressed: {', '.join(failures)}")
+        return 1
+    print(f"PASS: all scenarios within {args.tolerance}x of baseline "
+          f"(fresh overall speedup {fresh['overall_speedup']}x vs reference)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

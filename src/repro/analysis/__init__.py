@@ -1,5 +1,6 @@
 """Analysis: validation, metrics, complexity fits, tables, experiment sweeps."""
 
+from .benchmark import run_benchmark, write_bench_json
 from .complexity import PowerFit, doubling_ratios, fit_power_law
 from .experiments import (
     run_table1,
@@ -29,4 +30,6 @@ __all__ = [
     "tolerance_sweep",
     "scaling_sweep",
     "strategy_matrix",
+    "run_benchmark",
+    "write_bench_json",
 ]

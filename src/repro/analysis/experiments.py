@@ -5,14 +5,32 @@ Each function returns a list of flat records (see
 :mod:`repro.analysis.tables` and EXPERIMENTS.md quotes.  Keeping sweeps
 here — not in the benchmark files — makes them unit-testable and
 reusable from the examples.
+
+Parallel execution
+------------------
+Every sweep takes an opt-in ``workers=`` argument.  ``workers`` of
+``None``/``0``/``1`` runs serially (the default, zero overhead); larger
+values fan the sweep's independent cells out over a
+``concurrent.futures.ProcessPoolExecutor``.  Records come back in the
+**same order with the same values** as a serial run: cells are mapped in
+submission order (``Executor.map`` preserves it) and every cell is a
+pure function of picklable inputs (graph, row serial, strategy, seed).
+
+Rows are shipped to workers by *serial number* and re-resolved from the
+:data:`~repro.core.runner.TABLE1` registry in the child process (row
+objects hold lambdas, which do not pickle).  A row object that is not
+the registry's — e.g. a hand-built ``Table1Row`` in a test — silently
+falls back to serial execution for correctness.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..byzantine.adversary import Adversary
-from ..core.runner import TABLE1, Table1Row, row_applicable
+from ..core.runner import TABLE1, Table1Row, get_row, row_applicable
+from ..errors import ReproError
 from ..graphs.port_labeled import PortLabeledGraph
 from .metrics import record_from_report
 
@@ -56,21 +74,118 @@ def run_table1_row(
     return records
 
 
+# --------------------------------------------------------------------- #
+# Process-parallel cell execution
+# --------------------------------------------------------------------- #
+
+def _registry_serial(row: Table1Row) -> Optional[int]:
+    """The row's serial iff it is the registry's own object (picklable by
+    reference in a worker via :func:`get_row`); ``None`` otherwise."""
+    try:
+        registered = get_row(row.serial)
+    except KeyError:
+        return None
+    return row.serial if registered is row else None
+
+
+def _map_cells(fn: Callable, jobs: Sequence[Tuple], workers: Optional[int]) -> List:
+    """Run ``fn`` over ``jobs`` serially or in a process pool.
+
+    ``Executor.map`` yields results in submission order, so the output is
+    byte-identical to the serial list regardless of worker scheduling.
+    """
+    if not workers or workers <= 1 or len(jobs) <= 1:
+        return [fn(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(fn, jobs))
+
+
+def _cell_table1(job: Tuple) -> List[Dict]:
+    """One (row × strategy) cell; module-level for pickling."""
+    serial, graph, strategy, seed, f = job
+    return run_table1_row(get_row(serial), graph, [strategy], seed=seed, f=f)
+
+
+def _cell_tolerance(job: Tuple) -> Dict:
+    """One tolerance-sweep ``f`` cell; module-level for pickling."""
+    serial, graph, f, strategy, seed = job
+    row = get_row(serial)
+    return _tolerance_record(row, graph, f, strategy, seed)
+
+
+def _cell_scaling(job: Tuple) -> Dict:
+    """One scaling-sweep graph cell; module-level for pickling."""
+    serial, graph, strategy, seed, f = job
+    return _scaling_record(get_row(serial), graph, f, strategy, seed)
+
+
+def _scaling_record(
+    row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int
+) -> Dict:
+    """One scaling-sweep record (shared by the serial and worker paths so
+    the parallel-equals-serial guarantee cannot drift)."""
+    report = row.solver(
+        graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
+    )
+    return record_from_report(
+        report, serial=row.serial, theorem=row.theorem, f=f,
+        n=graph.n, m=graph.m, strategy=strategy,
+        paper_bound=row.paper_bound(graph, f),
+    )
+
+
+def _tolerance_record(
+    row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int
+) -> Dict:
+    """Run one ``f`` value, mapping in-bound driver rejections to a
+    ``rejected`` record.  Only the repro error hierarchy is treated as a
+    rejection — an unexpected ``TypeError``/``KeyError`` is an engine bug
+    and must propagate, not masquerade as an out-of-tolerance result."""
+    try:
+        report = row.solver(
+            graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
+        )
+        return record_from_report(
+            report, serial=row.serial, theorem=row.theorem, f=f,
+            n=graph.n, strategy=strategy, rejected=False,
+        )
+    except ReproError as exc:  # driver enforces the theorem's bound
+        return dict(
+            serial=row.serial, theorem=row.theorem, f=f, n=graph.n,
+            strategy=strategy, rejected=True, success=False,
+            rounds_simulated=0, rounds_charged=0, rounds_total=0,
+            n_violations=0, reason=type(exc).__name__,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Sweeps
+# --------------------------------------------------------------------- #
+
 def run_table1(
     graph: PortLabeledGraph,
     strategies: Sequence[str],
     seed: int = 0,
     serials: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> List[Dict]:
-    """Reproduce every applicable Table 1 row on one graph."""
-    records: List[Dict] = []
-    for row in TABLE1:
-        if serials is not None and row.serial not in serials:
-            continue
-        if not row_applicable(row, graph):
-            continue
-        records.extend(run_table1_row(row, graph, strategies, seed=seed))
-    return records
+    """Reproduce every applicable Table 1 row on one graph.
+
+    ``workers > 1`` fans the (row × strategy) cells out over processes;
+    record order and values match the serial run exactly.
+    """
+    rows = [
+        row
+        for row in TABLE1
+        if (serials is None or row.serial in serials) and row_applicable(row, graph)
+    ]
+    jobs = [
+        (row.serial, graph, strat, seed, None)
+        for row in rows
+        for strat in strategies
+    ]
+    cells = _map_cells(_cell_table1, jobs, workers)
+    return [rec for cell in cells for rec in cell]
 
 
 def tolerance_sweep(
@@ -79,29 +194,16 @@ def tolerance_sweep(
     f_values: Sequence[int],
     strategy: str,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[Dict]:
     """Success vs ``f`` for one algorithm (at, below, and — where the
     driver allows — beyond its bound; out-of-range values are recorded as
     ``rejected`` instead of run)."""
-    records = []
-    for f in f_values:
-        try:
-            report = row.solver(
-                graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
-            )
-            rec = record_from_report(
-                report, serial=row.serial, theorem=row.theorem, f=f,
-                n=graph.n, strategy=strategy, rejected=False,
-            )
-        except Exception as exc:  # driver enforces the theorem's bound
-            rec = dict(
-                serial=row.serial, theorem=row.theorem, f=f, n=graph.n,
-                strategy=strategy, rejected=True, success=False,
-                rounds_simulated=0, rounds_charged=0, rounds_total=0,
-                n_violations=0, reason=type(exc).__name__,
-            )
-        records.append(rec)
-    return records
+    serial = _registry_serial(row)
+    if serial is not None and workers and workers > 1:
+        jobs = [(serial, graph, f, strategy, seed) for f in f_values]
+        return _map_cells(_cell_tolerance, jobs, workers)
+    return [_tolerance_record(row, graph, f, strategy, seed) for f in f_values]
 
 
 def scaling_sweep(
@@ -110,25 +212,19 @@ def scaling_sweep(
     strategy: str,
     seed: int = 0,
     f_fraction_of_max: float = 1.0,
+    workers: Optional[int] = None,
 ) -> List[Dict]:
     """Measured rounds vs ``n`` across a graph family, at a fixed fraction
     of the row's tolerance (for power-law fitting against the bound)."""
-    records = []
-    for graph in graphs:
-        if not row_applicable(row, graph):
-            continue
-        f = int(row.f_max(graph) * f_fraction_of_max)
-        report = row.solver(
-            graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
-        )
-        records.append(
-            record_from_report(
-                report, serial=row.serial, theorem=row.theorem, f=f,
-                n=graph.n, m=graph.m, strategy=strategy,
-                paper_bound=row.paper_bound(graph, f),
-            )
-        )
-    return records
+    applicable = [g for g in graphs if row_applicable(row, g)]
+    fs = [int(row.f_max(g) * f_fraction_of_max) for g in applicable]
+    serial = _registry_serial(row)
+    if serial is not None and workers and workers > 1:
+        jobs = [
+            (serial, g, strategy, seed, f) for g, f in zip(applicable, fs)
+        ]
+        return _map_cells(_cell_scaling, jobs, workers)
+    return [_scaling_record(row, g, f, strategy, seed) for g, f in zip(applicable, fs)]
 
 
 def strategy_matrix(
@@ -136,11 +232,23 @@ def strategy_matrix(
     graph: PortLabeledGraph,
     strategies: Sequence[str],
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[Dict]:
     """Algorithms × strategies grid at each row's tolerance bound."""
+    applicable = [row for row in rows if row_applicable(row, graph)]
+    if (
+        workers
+        and workers > 1
+        and all(_registry_serial(row) is not None for row in applicable)
+    ):
+        jobs = [
+            (row.serial, graph, strat, seed, None)
+            for row in applicable
+            for strat in strategies
+        ]
+        cells = _map_cells(_cell_table1, jobs, workers)
+        return [rec for cell in cells for rec in cell]
     records: List[Dict] = []
-    for row in rows:
-        if not row_applicable(row, graph):
-            continue
+    for row in applicable:
         records.extend(run_table1_row(row, graph, strategies, seed=seed))
     return records

@@ -7,22 +7,30 @@ Commands
 ``tolerance``    sweep f for one row
 ``impossible``   run the Theorem 8 construction
 ``strategies``   list the adversary zoo
+``bench``        engine microbenchmark (optimized vs reference engine)
+
+Sweep commands accept ``--workers N`` to fan independent cells out over
+``N`` processes; records are identical to (and ordered like) a serial
+run.
 
 Examples::
 
-    python -m repro table1 --n 10 --strategy ghost_squatter
+    python -m repro table1 --n 10 --strategy ghost_squatter --workers 4
     python -m repro run --row 4 --n 9 --f 3 --strategy squatter
     python -m repro tolerance --row 5 --n 9
     python -m repro impossible --n 6 --k 12 --f 6
+    python -m repro bench --out BENCH_engine.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .analysis import render_table, run_table1, tolerance_sweep
+from .analysis import render_table, run_benchmark, run_table1, tolerance_sweep
+from .analysis.benchmark import format_report, write_bench_json
 from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
 from .core import demonstrate_impossibility, get_row
 from .graphs import is_quotient_isomorphic, random_connected
@@ -40,7 +48,9 @@ def _sample_graph(n: int, require_view_distinct: bool, seed: int):
 
 def _cmd_table1(args) -> int:
     graph = _sample_graph(args.n, require_view_distinct=True, seed=args.seed)
-    records = run_table1(graph, strategies=[args.strategy], seed=args.seed)
+    records = run_table1(
+        graph, strategies=[args.strategy], seed=args.seed, workers=args.workers
+    )
     print(
         render_table(
             records,
@@ -79,7 +89,9 @@ def _cmd_tolerance(args) -> int:
     graph = _sample_graph(args.n, require_view_distinct=(args.row == 1), seed=args.seed)
     f_max = row.f_max(graph)
     fs = list(range(0, min(f_max + 3, graph.n)))
-    records = tolerance_sweep(row, graph, fs, args.strategy, seed=args.seed)
+    records = tolerance_sweep(
+        row, graph, fs, args.strategy, seed=args.seed, workers=args.workers
+    )
     print(
         render_table(
             records,
@@ -108,6 +120,20 @@ def _cmd_strategies(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    payload = run_benchmark(
+        n=args.n, k=args.k, rounds=args.rounds, seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(format_report(payload))
+    if args.out:
+        write_bench_json(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0 if payload["all_identical"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
@@ -120,6 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--n", type=int, default=9)
     t1.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
     t1.add_argument("--seed", type=int, default=0)
+    t1.add_argument("--workers", type=int, default=None,
+                    help="processes for the sweep (default: serial)")
     t1.set_defaults(func=_cmd_table1)
 
     run = sub.add_parser("run", help="run one Table 1 row")
@@ -135,6 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
     tol.add_argument("--n", type=int, default=9)
     tol.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
     tol.add_argument("--seed", type=int, default=0)
+    tol.add_argument("--workers", type=int, default=None,
+                     help="processes for the sweep (default: serial)")
     tol.set_defaults(func=_cmd_tolerance)
 
     imp = sub.add_parser("impossible", help="run the Theorem 8 construction")
@@ -146,6 +176,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     ls = sub.add_parser("strategies", help="list the adversary zoo")
     ls.set_defaults(func=_cmd_strategies)
+
+    be = sub.add_parser(
+        "bench", help="engine microbenchmark: optimized vs reference engine"
+    )
+    be.add_argument("--n", type=int, default=96, help="graph size")
+    be.add_argument("--k", type=int, default=64, help="robot count")
+    be.add_argument("--rounds", type=int, default=500, help="rounds per scenario")
+    be.add_argument("--seed", type=int, default=0)
+    be.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
+    be.add_argument("--out", default="BENCH_engine.json",
+                    help="JSON output path ('' to skip writing)")
+    be.add_argument("--json", action="store_true", help="also print the JSON payload")
+    be.set_defaults(func=_cmd_bench)
     return p
 
 

@@ -12,12 +12,14 @@ from .robot import (
     Sleep,
     Stay,
 )
+from .reference import ReferenceWorld
 from .scheduler import RunReport, finish_report
 from .trace import Trace, TraceEvent
 from .world import World
 
 __all__ = [
     "World",
+    "ReferenceWorld",
     "Robot",
     "RobotAPI",
     "ByzantineAPI",

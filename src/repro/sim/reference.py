@@ -1,0 +1,183 @@
+"""Straight-line reference engine for differential testing and benchmarks.
+
+:class:`ReferenceWorld` re-implements :meth:`World.step` exactly the way
+the original (pre-optimization) engine did:
+
+* the round-start snapshot is captured **eagerly** for every robot at the
+  top of every round,
+* the sub-round order is **re-sorted** from scratch every round,
+* the node index is **fully rebuilt** after any movement,
+* board dictionaries are **reallocated** every round.
+
+The optimized :class:`~repro.sim.world.World` must be observably
+indistinguishable from this class — same traces, same round counters,
+same positions — for any program and any seed.  Tests in
+``tests/test_engine_fastpath.py`` assert that equivalence, and
+``benchmarks/bench_engine.py`` uses this class as the wall-clock baseline
+the ≥3× speedup target is measured against.
+
+Keep this file boring: it is the executable specification of one round.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ProtocolViolation, SimulationError
+from .robot import ByzantineAPI, Move, PublicView, RobotAPI, Sleep, Stay
+from .world import World
+
+__all__ = ["ReferenceWorld", "ReferenceRobotAPI", "ReferenceByzantineAPI"]
+
+
+class _SeedReadPaths:
+    """Seed-faithful observation methods (mixed into the reference APIs).
+
+    The original engine rebuilt a ``PublicView`` per co-located robot on
+    every :meth:`colocated` call and resolved
+    :meth:`colocated_at_round_start` by scanning the eager snapshot of the
+    *entire* population.  The optimized engine replaced both; these
+    variants keep the old cost model so benchmark comparisons are honest
+    and behaviour stays pinned to the original read semantics.
+    """
+
+    def colocated(self) -> List[PublicView]:
+        me = self._robot
+        views = [
+            PublicView(claimed_id=r.claimed_id, state=r.state, flag=r.flag)
+            for r in self._world._by_node.get(me.node, ())
+            if r is not me
+        ]
+        views.sort(key=lambda v: v.claimed_id)
+        return views
+
+    def colocated_at_round_start(self) -> List[PublicView]:
+        me = self._robot
+        snap = self._world._eager_snapshot
+        return sorted(
+            (
+                view
+                for rid, (node, view) in snap.items()
+                if node == me.node and rid != me.true_id
+            ),
+            key=lambda v: v.claimed_id,
+        )
+
+
+class ReferenceRobotAPI(_SeedReadPaths, RobotAPI):
+    """Honest-robot API with the seed engine's observation cost model."""
+
+
+class ReferenceByzantineAPI(_SeedReadPaths, ByzantineAPI):
+    """Byzantine API with the seed engine's observation cost model."""
+
+
+class ReferenceWorld(World):
+    """A :class:`World` whose ``step`` is the unoptimized original."""
+
+    _api_cls = ReferenceRobotAPI
+    _byzantine_api_cls = ReferenceByzantineAPI
+
+    #: Eager round-start snapshot (``true_id -> (node, PublicView)``),
+    #: rebuilt at the top of every round like the seed engine did.
+    _eager_snapshot: dict = {}
+
+    @property
+    def round_start_snapshot(self) -> dict:
+        """The eager snapshot dict — exactly the seed engine's attribute
+        (empty before the first step, stale positions after a step)."""
+        return self._eager_snapshot
+
+    def step(self) -> None:
+        """Execute one synchronous round exactly like the seed engine."""
+        # Freeze the round-start snapshot: the paper's "in round t" sets.
+        # The seed engine had no view cache and built a fresh PublicView
+        # per robot per round; invalidating the cache first reproduces
+        # that cost faithfully (this class is also the benchmark
+        # baseline).  Reads go through the same start_view fields the
+        # optimized engine uses.
+        rnd = self.round
+        snapshot = {}
+        for rid, r in self.robots.items():
+            r._view_cache = None
+            view = r.view()
+            r.start_view = view
+            r.start_view_round = rnd
+            snapshot[rid] = (r.node, view)
+        self._eager_snapshot = snapshot
+        self.board_current = {}
+
+        order = sorted(
+            (r for r in self.robots.values() if not r.terminated),
+            key=lambda r: (r.claimed_id, r.true_id),
+        )
+        self._in_step = True
+        try:
+            for robot in order:
+                if robot.sleep_until > self.round:
+                    robot.pending_action = None
+                    continue
+                try:
+                    action = next(robot.program)
+                except StopIteration:
+                    robot.terminated = True
+                    robot.pending_action = None
+                    self._order_dirty = True
+                    continue
+                if isinstance(action, Sleep):
+                    if action.rounds < 1:
+                        raise SimulationError("Sleep must cover at least 1 round")
+                    robot.sleep_until = self.round + action.rounds
+                    robot.pending_action = None
+                    continue
+                if isinstance(action, Move):
+                    if not robot.byzantine and robot.settled_node is not None:
+                        raise ProtocolViolation(
+                            f"settled honest robot {robot.true_id} attempted to move"
+                        )
+                    deg = self.graph.degree(robot.node)
+                    if not (1 <= action.port <= deg):
+                        raise SimulationError(
+                            f"robot {robot.true_id} used invalid port {action.port} "
+                            f"at a degree-{deg} node"
+                        )
+                    robot.pending_action = action
+                elif isinstance(action, Stay):
+                    robot.pending_action = None
+                else:
+                    raise SimulationError(
+                        f"robot {robot.true_id} yielded {action!r}; expected Move or Stay"
+                    )
+        finally:
+            self._in_step = False
+
+        # Task (ii): simultaneous movement.
+        moved = False
+        for robot in order:
+            act = robot.pending_action
+            if act is None:
+                continue
+            dest, in_port = self.graph.traverse(robot.node, act.port)
+            self.trace.record(
+                self.round, "move", robot=robot.true_id, src=robot.node,
+                dst=dest, port=act.port,
+            )
+            robot.node = dest
+            robot.arrival_port = in_port
+            robot.moves_made += 1
+            robot.pending_action = None
+            moved = True
+        if moved:
+            self._rebuild_index()
+
+        self.board_previous = self.board_current
+        self.round += 1
+
+        # Fast-forward: if every live robot is dormant, jump to the first
+        # round anyone wakes in one step.
+        live = [r for r in self.robots.values() if not r.terminated]
+        if live and all(r.sleep_until > self.round for r in live):
+            wake = min(r.sleep_until for r in live)
+            if wake > self.round + 1:
+                self.round = wake
+                self.board_previous = {}

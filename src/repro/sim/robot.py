@@ -21,6 +21,7 @@ power to fake the claimed ID (Section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Any, Iterator, List, Optional, Tuple
 
 from ..errors import ProtocolViolation, SimulationError
@@ -30,6 +31,7 @@ __all__ = [
     "SETTLED",
     "Move",
     "Stay",
+    "Sleep",
     "Action",
     "PublicView",
     "Robot",
@@ -40,6 +42,9 @@ __all__ = [
 #: The two robot states of Section 2.2.
 TOBESETTLED = "tobeSettled"
 SETTLED = "Settled"
+
+#: Sort key for view lists (module-level: no per-call closure allocation).
+_CLAIMED_KEY = attrgetter("claimed_id")
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,13 @@ class Robot:
         "moves_made",
         "pending_action",
         "sleep_until",
+        "_seq",
+        "_view_cache",
+        "start_view",
+        "start_view_round",
+        "start_claimed",
+        "start_state",
+        "start_flag",
     )
 
     def __init__(
@@ -124,10 +136,56 @@ class Robot:
         self.moves_made = 0
         self.pending_action: Optional[Action] = None
         self.sleep_until = 0  # robot is dormant while world.round < sleep_until
+        self._seq = 0  # world-assigned insertion rank (index ordering)
+        self._view_cache: Optional[PublicView] = None
+        # Copy-on-write round-start record: raw fields captured just
+        # before the first public-record mutation of a round (allocation
+        # free); the PublicView is materialised lazily on first read.
+        # While ``start_view_round`` lags the current round the record is
+        # unchanged since the round began and the live view doubles as
+        # the round-start view.
+        self.start_view: Optional[PublicView] = None
+        self.start_view_round = -1
+        self.start_claimed = true_id
+        self.start_state = self.state
+        self.start_flag = 0
 
     def view(self) -> PublicView:
-        """Snapshot of this robot's public record."""
-        return PublicView(claimed_id=self.claimed_id, state=self.state, flag=self.flag)
+        """Snapshot of this robot's public record (cached until it changes)."""
+        v = self._view_cache
+        if v is None:
+            v = PublicView(claimed_id=self.claimed_id, state=self.state, flag=self.flag)
+            self._view_cache = v
+        return v
+
+    def _touch_record(self, world: "World") -> None:  # noqa: F821 - forward ref
+        """Pre-mutation hook for the public record (claimed ID, state, flag).
+
+        First mutation within a round copies the raw record fields as the
+        round-start state (copy-on-write, no allocation); every mutation
+        invalidates the cached live view.  Mutations outside a round
+        belong to the upcoming round's start state — no capture then.
+        """
+        if world._in_step and self.start_view_round != world.round:
+            self.start_view_round = world.round
+            self.start_claimed = self.claimed_id
+            self.start_state = self.state
+            self.start_flag = self.flag
+            self.start_view = self._view_cache  # may be None: built on read
+        self._view_cache = None
+
+    def _start_view(self) -> PublicView:
+        """The round-start view, materialised on demand (only valid when
+        ``start_view_round`` equals the current round)."""
+        v = self.start_view
+        if v is None:
+            v = PublicView(
+                claimed_id=self.start_claimed,
+                state=self.start_state,
+                flag=self.start_flag,
+            )
+            self.start_view = v
+        return v
 
 
 class RobotAPI:
@@ -136,6 +194,8 @@ class RobotAPI:
     One instance per robot, handed to its program generator.  All methods
     are safe to call any number of times within the robot's sub-round.
     """
+
+    __slots__ = ("_world", "_robot")
 
     def __init__(self, world: "World", robot: Robot):  # noqa: F821 - forward ref
         self._world = world
@@ -162,7 +222,7 @@ class RobotAPI:
 
     def degree(self) -> int:
         """Degree of (== number of ports at) the current node."""
-        return self._world.graph.degree(self._robot.node)
+        return len(self._world.graph._ports[self._robot.node])
 
     @property
     def arrival_port(self) -> Optional[int]:
@@ -179,10 +239,10 @@ class RobotAPI:
         me = self._robot
         views = [
             r.view()
-            for r in self._world.robots_at(me.node)
+            for r in self._world._by_node.get(me.node, ())
             if r is not me
         ]
-        views.sort(key=lambda v: v.claimed_id)
+        views.sort(key=_CLAIMED_KEY)
         return views
 
     def colocated_at_round_start(self) -> List[PublicView]:
@@ -192,13 +252,22 @@ class RobotAPI:
         This is the paper's "``S_s(v)`` and ``S_tbs(v)`` … in round ``t``"
         snapshot; comparing it with :meth:`colocated` tells a robot who
         "changed its state to Settled" during the current round.
+
+        Positions are stable within a round (movement is simultaneous at
+        round end), so only the *records* need round-start resolution: a
+        copy-on-write ``start_view`` is served for robots whose record
+        changed earlier this round, the (cached) live view otherwise.
         """
         me = self._robot
-        snap = self._world.round_start_snapshot
-        return sorted(
-            (view for rid, (node, view) in snap.items() if node == me.node and rid != me.true_id),
-            key=lambda v: v.claimed_id,
-        )
+        world = self._world
+        rnd = world.round
+        views = []
+        for r in world._by_node.get(me.node, ()):
+            if r is me:
+                continue
+            views.append(r._start_view() if r.start_view_round == rnd else r.view())
+        views.sort(key=_CLAIMED_KEY)
+        return views
 
     # -- public record updates ------------------------------------------ #
 
@@ -206,7 +275,9 @@ class RobotAPI:
         """Publish the 0/1 intent flag of Section 2.2."""
         if value not in (0, 1):
             raise ProtocolViolation("flag must be 0 or 1")
-        self._robot.flag = value
+        me = self._robot
+        me._touch_record(self._world)
+        me.flag = value
 
     def settle(self) -> None:
         """Settle at the current node: state := Settled, forever.
@@ -217,16 +288,27 @@ class RobotAPI:
         me = self._robot
         if me.state == SETTLED and me.settled_node != me.node:
             raise ProtocolViolation("honest robot attempted to re-settle elsewhere")
+        world = self._world
+        me._touch_record(world)
         me.state = SETTLED
         me.settled_node = me.node
-        self._world.trace.record(self._world.round, "settle", robot=me.true_id, node=me.node)
+        trace = world.trace
+        if trace.keep_events:
+            trace.record(world.round, "settle", robot=me.true_id, node=me.node)
+        else:
+            trace.bump("settle")
 
     # -- messaging ------------------------------------------------------- #
 
     def say(self, payload: Any) -> None:
         """Post a message on the current node's board for this round."""
         me = self._robot
-        self._world.post_message(me.node, me.claimed_id, payload)
+        board = self._world.board_current
+        lst = board.get(me.node)
+        if lst is None:
+            board[me.node] = [(me.claimed_id, payload)]
+        else:
+            lst.append((me.claimed_id, payload))
 
     def messages(self) -> List[Tuple[int, Any]]:
         """Messages posted at this node *this* round so far
@@ -257,6 +339,8 @@ class ByzantineAPI(RobotAPI):
     (Section 1.1, following Dieudonné–Pelc–Peleg [24]).
     """
 
+    __slots__ = ()
+
     @property
     def world(self) -> "World":  # noqa: F821
         """Full read access to the simulator state (adaptive adversary)."""
@@ -264,6 +348,7 @@ class ByzantineAPI(RobotAPI):
 
     def set_state(self, state: str) -> None:
         """Publish an arbitrary state string (lie freely)."""
+        self._robot._touch_record(self._world)
         self._robot.state = state
 
     def set_claimed_id(self, claimed: int) -> None:
@@ -272,8 +357,12 @@ class ByzantineAPI(RobotAPI):
             raise SimulationError(
                 "ID faking requires the strong Byzantine model (got weak)"
             )
-        self._robot.claimed_id = claimed
+        if claimed != self._robot.claimed_id:
+            self._robot._touch_record(self._world)
+            self._robot.claimed_id = claimed
+            self._world._order_dirty = True  # sub-round rank changed
 
     def mark_settled_record(self, node_hint: Optional[int] = None) -> None:
         """Record a *claimed* settle (no honest bookkeeping) — pure lie."""
+        self._robot._touch_record(self._world)
         self._robot.state = SETTLED

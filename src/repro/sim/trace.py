@@ -32,6 +32,8 @@ class Trace:
     kept only when ``keep_events=True``.
     """
 
+    __slots__ = ("keep_events", "events", "counters")
+
     def __init__(self, keep_events: bool = True):
         self.keep_events = keep_events
         self.events: List[TraceEvent] = []
@@ -42,6 +44,15 @@ class Trace:
         self.counters[kind] += 1
         if self.keep_events:
             self.events.append(TraceEvent(round=round_no, kind=kind, data=data))
+
+    def bump(self, kind: str) -> None:
+        """Counter-only fast path for hot loops.
+
+        Equivalent to :meth:`record` when ``keep_events`` is False, but
+        builds no kwargs dict and no event object.  Hot call sites branch
+        on ``keep_events`` themselves and call this on the cheap side.
+        """
+        self.counters[kind] += 1
 
     def count(self, kind: str) -> int:
         """How many events of ``kind`` were recorded."""

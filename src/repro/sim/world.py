@@ -18,10 +18,25 @@ The world also keeps **charged rounds**: phases the paper prices via prior
 work (gathering, Find-Map) add their cited round cost to the accounting
 without being stepped one by one (see DESIGN.md §5).  Every result object
 reports simulated and charged rounds separately.
+
+Hot-path engineering (see PERFORMANCE.md for measurements):
+
+* The round-start snapshot is **lazy**: no ``PublicView`` is built unless
+  a program asks for one.  Robots carry a copy-on-write ``start_view``
+  captured just before the first public-record mutation of a round.
+* The sub-round order is **cached** and re-sorted only after a claimed-ID
+  change, a termination, or a robot addition — not every round.
+* The node index is updated **incrementally**: only robots that actually
+  moved are relocated (lists stay in insertion-rank order, matching a
+  full rebuild bit for bit).
+* Board dictionaries are recycled on message-free rounds instead of being
+  reallocated; a shared immutable empty mapping stands in for decayed
+  previous-round boards.
 """
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ProtocolViolation, SimulationError
@@ -43,6 +58,16 @@ __all__ = ["World"]
 
 ProgramFactory = Callable[[RobotAPI], Iterator[Action]]
 
+#: Sub-round rank (the paper's "robot of rank Y waits until sub-round Y").
+_ORDER_KEY = attrgetter("claimed_id", "true_id")
+#: Insertion rank — reproduces the robots-dict iteration order inside
+#: per-node index lists, so incremental updates match a full rebuild.
+_SEQ_KEY = attrgetter("_seq")
+
+#: Shared stand-in for a decayed (empty) previous-round board.  Never
+#: mutated by the simulator; treat it as read-only from the outside too.
+_EMPTY_BOARD: Dict[int, List[Tuple[int, Any]]] = {}
+
 
 class World:
     """A running simulation instance.
@@ -57,6 +82,11 @@ class World:
     keep_trace:
         Store full event objects (True) or only counters (False).
     """
+
+    #: API classes handed to robot programs; subclasses (the reference
+    #: engine) swap in seed-faithful variants without touching this class.
+    _api_cls = RobotAPI
+    _byzantine_api_cls = ByzantineAPI
 
     def __init__(
         self,
@@ -73,9 +103,12 @@ class World:
         self.charged: List[Tuple[str, int]] = []
         self.board_current: Dict[int, List[Tuple[int, Any]]] = {}
         self.board_previous: Dict[int, List[Tuple[int, Any]]] = {}
-        self.round_start_snapshot: Dict[int, Tuple[int, PublicView]] = {}
         self.trace = Trace(keep_events=keep_trace)
         self._by_node: Dict[int, List[Robot]] = {}
+        self._order: List[Robot] = []
+        self._order_dirty = True
+        self._in_step = False
+        self._seq_counter = 0
 
     # ------------------------------------------------------------------ #
     # Population management
@@ -99,10 +132,13 @@ class World:
         if not (0 <= node < self.graph.n):
             raise SimulationError(f"node {node} out of range")
         robot = Robot(true_id=true_id, node=node, program=iter(()), byzantine=byzantine)
-        api = ByzantineAPI(self, robot) if byzantine else RobotAPI(self, robot)
+        robot._seq = self._seq_counter
+        self._seq_counter += 1
+        api = (self._byzantine_api_cls if byzantine else self._api_cls)(self, robot)
         robot.program = program_factory(api)
         self.robots[true_id] = robot
         self._by_node.setdefault(node, []).append(robot)
+        self._order_dirty = True
         return robot
 
     @property
@@ -115,9 +151,32 @@ class World:
         """True IDs of Byzantine robots, ascending."""
         return sorted(i for i, r in self.robots.items() if r.byzantine)
 
-    def robots_at(self, node: int) -> List[Robot]:
-        """Robots currently located at ``node`` (stable within a round)."""
-        return self._by_node.get(node, [])
+    def robots_at(self, node: int) -> Tuple[Robot, ...]:
+        """Robots currently located at ``node`` (stable within a round).
+
+        Returns an immutable tuple: the underlying index must never be
+        mutated by callers.
+        """
+        return tuple(self._by_node.get(node) or ())
+
+    # ------------------------------------------------------------------ #
+    # Round-start snapshot (lazy)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def round_start_snapshot(self) -> Dict[int, Tuple[int, PublicView]]:
+        """``true_id -> (node, PublicView)`` as of the start of the
+        current round.
+
+        Built on demand: within a round, positions are unchanged since the
+        round began (movement is simultaneous at round end) and records
+        resolve through each robot's copy-on-write ``start_view``.
+        """
+        rnd = self.round
+        return {
+            rid: (r.node, r._start_view() if r.start_view_round == rnd else r.view())
+            for rid, r in self.robots.items()
+        }
 
     # ------------------------------------------------------------------ #
     # Round execution
@@ -125,81 +184,125 @@ class World:
 
     def step(self) -> None:
         """Execute one synchronous round (sub-rounds + simultaneous moves)."""
-        # Freeze the round-start snapshot: the paper's "in round t" sets.
-        self.round_start_snapshot = {
-            rid: (r.node, r.view()) for rid, r in self.robots.items()
-        }
-        self.board_current = {}
-
-        order = sorted(
-            (r for r in self.robots.values() if not r.terminated),
-            key=lambda r: (r.claimed_id, r.true_id),
-        )
-        for robot in order:
-            if robot.sleep_until > self.round:
-                robot.pending_action = None
-                continue
-            try:
-                action = next(robot.program)
-            except StopIteration:
-                robot.terminated = True
-                robot.pending_action = None
-                continue
-            if isinstance(action, Sleep):
-                if action.rounds < 1:
-                    raise SimulationError("Sleep must cover at least 1 round")
-                robot.sleep_until = self.round + action.rounds
-                robot.pending_action = None
-                continue
-            if isinstance(action, Move):
-                if not robot.byzantine and robot.settled_node is not None:
-                    raise ProtocolViolation(
-                        f"settled honest robot {robot.true_id} attempted to move"
-                    )
-                deg = self.graph.degree(robot.node)
-                if not (1 <= action.port <= deg):
-                    raise SimulationError(
-                        f"robot {robot.true_id} used invalid port {action.port} "
-                        f"at a degree-{deg} node"
-                    )
-                robot.pending_action = action
-            elif isinstance(action, Stay):
-                robot.pending_action = None
-            else:
-                raise SimulationError(
-                    f"robot {robot.true_id} yielded {action!r}; expected Move or Stay"
-                )
-
-        # Task (ii): simultaneous movement.
-        moved = False
-        for robot in order:
-            act = robot.pending_action
-            if act is None:
-                continue
-            dest, in_port = self.graph.traverse(robot.node, act.port)
-            self.trace.record(
-                self.round, "move", robot=robot.true_id, src=robot.node, dst=dest, port=act.port
+        rnd = self.round
+        ports = self.graph._ports  # package-internal: skip method dispatch
+        trace = self.trace
+        keep_events = trace.keep_events
+        if self.board_current:  # posts made outside a round are discarded
+            self.board_current = {}
+        if self._order_dirty:
+            self._order = sorted(
+                (r for r in self.robots.values() if not r.terminated),
+                key=_ORDER_KEY,
             )
-            robot.node = dest
-            robot.arrival_port = in_port
-            robot.moves_made += 1
-            robot.pending_action = None
-            moved = True
-        if moved:
-            self._rebuild_index()
+            self._order_dirty = False
+        order = self._order
 
-        self.board_previous = self.board_current
-        self.round += 1
+        movers: List[Tuple[Robot, int]] = []
+        append_mover = movers.append
+        # Fast-forward bookkeeping, tracked in-loop so no extra pass over
+        # the population is needed at round end: ``ff_blocked`` means some
+        # live robot is guaranteed awake next round; ``ff_min`` is the
+        # earliest wake round among dormant robots (-1 = none yet).
+        any_live = False
+        ff_blocked = False
+        ff_min = -1
+        self._in_step = True
+        try:
+            for robot in order:
+                su = robot.sleep_until
+                if su > rnd:  # dormant this round
+                    any_live = True
+                    if ff_min < 0 or su < ff_min:
+                        ff_min = su
+                    continue
+                try:
+                    action = next(robot.program)
+                except StopIteration:
+                    robot.terminated = True
+                    self._order_dirty = True
+                    continue
+                if isinstance(action, Move):
+                    if not robot.byzantine and robot.settled_node is not None:
+                        raise ProtocolViolation(
+                            f"settled honest robot {robot.true_id} attempted to move"
+                        )
+                    deg = len(ports[robot.node])
+                    port = action.port
+                    if not (1 <= port <= deg):
+                        raise SimulationError(
+                            f"robot {robot.true_id} used invalid port {port} "
+                            f"at a degree-{deg} node"
+                        )
+                    append_mover((robot, port))
+                    any_live = True
+                    ff_blocked = True
+                elif isinstance(action, Stay):
+                    any_live = True
+                    ff_blocked = True
+                elif isinstance(action, Sleep):
+                    rounds = action.rounds
+                    if rounds < 1:
+                        raise SimulationError("Sleep must cover at least 1 round")
+                    su = rnd + rounds
+                    robot.sleep_until = su
+                    any_live = True
+                    if ff_min < 0 or su < ff_min:
+                        ff_min = su
+                else:
+                    raise SimulationError(
+                        f"robot {robot.true_id} yielded {action!r}; expected Move or Stay"
+                    )
+        finally:
+            self._in_step = False
+
+        # Task (ii): simultaneous movement, applied incrementally to the
+        # node index (only movers relocate; lists keep insertion rank).
+        if movers:
+            if not keep_events:
+                trace.counters["move"] += len(movers)
+            by_node = self._by_node
+            touched = set()
+            for robot, port in movers:
+                src = robot.node
+                dest, in_port = ports[src][port - 1]  # port validated above
+                if keep_events:
+                    trace.record(
+                        rnd, "move", robot=robot.true_id, src=src, dst=dest, port=port
+                    )
+                robot.node = dest
+                robot.arrival_port = in_port
+                robot.moves_made += 1
+                lst = by_node[src]
+                lst.remove(robot)
+                if not lst:
+                    del by_node[src]
+                dlst = by_node.get(dest)
+                if dlst is None:
+                    by_node[dest] = [robot]
+                else:
+                    dlst.append(robot)
+                    touched.add(dest)
+            for node in touched:
+                by_node[node].sort(key=_SEQ_KEY)
+
+        # Board decay: this round's board becomes readable for one more
+        # round; on message-free rounds the empty dict is recycled.
+        board = self.board_current
+        if board:
+            self.board_previous = board
+            self.board_current = {}
+        elif self.board_previous:
+            self.board_previous = _EMPTY_BOARD
+
+        self.round = nxt = rnd + 1
 
         # Fast-forward: if every live robot is dormant, jump to the first
         # round anyone wakes in one step.  Equivalent to stepping (dormant
         # robots observe nothing and boards decay to empty after a round).
-        live = [r for r in self.robots.values() if not r.terminated]
-        if live and all(r.sleep_until > self.round for r in live):
-            wake = min(r.sleep_until for r in live)
-            if wake > self.round + 1:
-                self.round = wake
-                self.board_previous = {}
+        if any_live and not ff_blocked and ff_min > nxt + 1:
+            self.round = ff_min
+            self.board_previous = _EMPTY_BOARD
 
     def run(
         self,
@@ -252,10 +355,12 @@ class World:
     def teleport(self, true_id: int, node: int) -> None:
         """Simulator-side relocation (enacting an oracle phase outcome)."""
         robot = self.robots[true_id]
-        self.trace.record(self.round, "teleport", robot=true_id, src=robot.node, dst=node)
+        src = robot.node
+        self.trace.record(self.round, "teleport", robot=true_id, src=src, dst=node)
         robot.node = node
         robot.arrival_port = None
-        self._rebuild_index()
+        if node != src:
+            self._reindex_robot(robot, src, node)
 
     # ------------------------------------------------------------------ #
     # Messaging internals (used by RobotAPI)
@@ -281,7 +386,28 @@ class World:
         """Current ``true_id -> node`` for every robot."""
         return {rid: r.node for rid, r in self.robots.items()}
 
+    def _reindex_robot(self, robot: Robot, src: int, dest: int) -> None:
+        """Relocate one robot in the node index, preserving insertion rank."""
+        by_node = self._by_node
+        lst = by_node.get(src)
+        if lst is not None:
+            try:
+                lst.remove(robot)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            if not lst:
+                del by_node[src]
+        dlst = by_node.get(dest)
+        if dlst is None:
+            by_node[dest] = [robot]
+        else:
+            dlst.append(robot)
+            if len(dlst) > 1:
+                dlst.sort(key=_SEQ_KEY)
+
     def _rebuild_index(self) -> None:
+        """Full node-index rebuild (reference path; the hot path updates
+        incrementally and must stay equivalent to this)."""
         index: Dict[int, List[Robot]] = {}
         for r in self.robots.values():
             index.setdefault(r.node, []).append(r)

@@ -59,3 +59,39 @@ class TestCommands:
         assert "Table 1 reproduction" in out
         # All seven rows present (row 1 applicable on the sampled graph).
         assert out.count("\n") >= 9
+
+    def test_table1_parallel_workers(self, capsys):
+        rc = main(["table1", "--n", "8", "--strategy", "squatter", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 1 reproduction" in out
+
+
+class TestBench:
+    def test_bench_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_engine.json"
+        rc = main([
+            "bench", "--n", "12", "--k", "6", "--rounds", "20",
+            "--repeats", "1", "--out", str(out_path),
+        ])
+        printed = capsys.readouterr().out
+        assert rc == 0
+        assert "Engine microbenchmark" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "engine"
+        assert payload["all_identical"] is True
+        assert {s["scenario"] for s in payload["scenarios"]} == {
+            "ring_march", "ring_observe", "random_walk", "messages", "sleepers",
+        }
+        for s in payload["scenarios"]:
+            assert s["optimized_s"] >= 0 and s["reference_s"] >= 0
+
+    def test_bench_no_out_file(self, capsys):
+        rc = main([
+            "bench", "--n", "12", "--k", "6", "--rounds", "10",
+            "--repeats", "1", "--out", "",
+        ])
+        assert rc == 0
+        assert "overall speedup" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Parallel sweep execution: identical records, deterministic order.
+
+The experiments layer fans sweep cells out over processes when
+``workers > 1``; the contract is that the returned record list is
+*exactly* the serial one (same order, same values).  Also covers the
+tolerance sweep's narrowed exception handling: only the repro error
+hierarchy is a legitimate "rejected" outcome — anything else is an
+engine bug and must propagate.
+"""
+
+import pytest
+
+from repro.analysis import (
+    run_table1,
+    scaling_sweep,
+    strategy_matrix,
+    tolerance_sweep,
+)
+from repro.core import TABLE1, get_row
+from repro.core.runner import Table1Row
+from repro.errors import ConfigurationError
+from repro.graphs import random_connected
+
+
+@pytest.fixture(scope="module")
+def g():
+    return random_connected(8, seed=5)
+
+
+class TestParallelMatchesSerial:
+    def test_run_table1(self, g):
+        serial = run_table1(g, strategies=["squatter", "idle"], serials=[4, 5])
+        parallel = run_table1(
+            g, strategies=["squatter", "idle"], serials=[4, 5], workers=2
+        )
+        assert parallel == serial
+
+    def test_tolerance_sweep(self, g):
+        row = get_row(5)
+        serial = tolerance_sweep(row, g, [0, 1, 2], "squatter")
+        parallel = tolerance_sweep(row, g, [0, 1, 2], "squatter", workers=3)
+        assert parallel == serial
+
+    def test_scaling_sweep(self):
+        row = get_row(5)
+        graphs = [random_connected(n, seed=1) for n in (6, 8)]
+        serial = scaling_sweep(row, graphs, "idle")
+        parallel = scaling_sweep(row, graphs, "idle", workers=2)
+        assert parallel == serial
+
+    def test_strategy_matrix(self, g):
+        rows = [get_row(4), get_row(5)]
+        serial = strategy_matrix(rows, g, ["squatter", "idle"])
+        parallel = strategy_matrix(rows, g, ["squatter", "idle"], workers=2)
+        assert parallel == serial
+
+    def test_workers_one_is_serial(self, g):
+        assert run_table1(g, strategies=["idle"], serials=[5], workers=1) == \
+            run_table1(g, strategies=["idle"], serials=[5])
+
+
+def _fake_row(solver):
+    return Table1Row(
+        serial=1,  # a registry serial, but NOT the registry object
+        theorem=1,
+        running_time="test",
+        start="Gathered",
+        tolerance="0",
+        strong=False,
+        solver=solver,
+        f_max=lambda graph: 1,
+        paper_bound=lambda graph, f: 1,
+    )
+
+
+class TestToleranceExceptionNarrowing:
+    def test_repro_errors_recorded_as_rejected(self, g):
+        def rejecting_solver(graph, f, adversary, seed):
+            raise ConfigurationError("f out of range")
+
+        recs = tolerance_sweep(_fake_row(rejecting_solver), g, [0, 1], "idle")
+        assert [r["rejected"] for r in recs] == [True, True]
+        assert all(r["reason"] == "ConfigurationError" for r in recs)
+
+    def test_engine_bugs_propagate(self, g):
+        """A TypeError from a solver is a bug, not an out-of-bound f; the
+        old bare `except Exception` silently recorded it as rejected."""
+
+        def buggy_solver(graph, f, adversary, seed):
+            raise TypeError("engine bug")
+
+        with pytest.raises(TypeError, match="engine bug"):
+            tolerance_sweep(_fake_row(buggy_solver), g, [0], "idle")
+
+    def test_non_registry_row_falls_back_to_serial(self, g):
+        """A hand-built row (unpicklable lambdas) still works with
+        workers>1 by silently running serially."""
+
+        def rejecting_solver(graph, f, adversary, seed):
+            raise ConfigurationError("nope")
+
+        recs = tolerance_sweep(
+            _fake_row(rejecting_solver), g, [0, 1], "idle", workers=4
+        )
+        assert [r["rejected"] for r in recs] == [True, True]
+
+
+class TestRegistryIntrospection:
+    def test_all_registry_rows_resolve(self):
+        from repro.analysis.experiments import _registry_serial
+
+        for row in TABLE1:
+            assert _registry_serial(row) == row.serial
+
+    def test_foreign_row_does_not_resolve(self):
+        from repro.analysis.experiments import _registry_serial
+
+        assert _registry_serial(_fake_row(lambda *a, **kw: None)) is None

@@ -170,7 +170,7 @@ class TestRounds:
         assert [r.true_id for r in w.robots_at(0)] == [1]
         w.step()
         assert [r.true_id for r in w.robots_at(1)] == [1]
-        assert w.robots_at(0) == []
+        assert w.robots_at(0) == ()
 
     def test_duplicate_id_rejected(self):
         w = World(ring(3))
