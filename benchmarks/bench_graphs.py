@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Graph-substrate microbenchmark: CSR fast paths vs the PR-1 graph layer.
+
+Standalone entry point around :mod:`repro.analysis.graphbench` (the same
+harness ``python -m repro bench --suite graphs`` drives).  Scenarios
+cover closed-form vs networkx-oracle construction, port-ordered edge
+sweeps, O(1) vs linear ``port_to`` lookups, and spec-vs-pickled-graph
+sweep dispatch; every scenario verifies the fast path produces a graph
+(or result) equal to the reference path's.
+
+Usage::
+
+    python benchmarks/bench_graphs.py                    # defaults
+    python benchmarks/bench_graphs.py --repeats 5 --cells 40
+    python benchmarks/bench_graphs.py --out BENCH_graphs.json
+
+The JSON output is the repo's perf-trajectory record; the checked-in
+baseline lives at ``benchmarks/BENCH_graphs.json`` and is guarded by
+``benchmarks/check_regression.py`` (same two-signal rule as the engine
+benchmark).
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.benchmark import write_bench_json  # noqa: E402
+from repro.analysis.graphbench import format_graph_report, run_graph_benchmark  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
+    ap.add_argument("--cells", type=int, default=24,
+                    help="sweep cells in the dispatch scenario")
+    ap.add_argument("--out", default="", help="write BENCH_graphs.json here")
+    args = ap.parse_args(argv)
+
+    payload = run_graph_benchmark(
+        seed=args.seed, repeats=args.repeats, cells=args.cells
+    )
+    print(format_graph_report(payload))
+    if args.out:
+        write_bench_json(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0 if payload["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Perf-regression gate: fresh engine microbenchmark vs checked-in baseline.
+"""Perf-regression gate: fresh microbenchmarks vs checked-in baselines.
 
-Runs the engine microbenchmark with the *baseline's own parameters* and
-fails (exit 1) when a scenario regresses or when the optimized and
-reference engines stop agreeing behaviourally.  A scenario counts as
-regressed only when **both** signals agree, so a slow CI runner cannot
-trip the gate on its own:
+Guards **both** benchmark files — ``BENCH_engine.json`` (engine hot
+path) and ``BENCH_graphs.json`` (graph substrate) — with the same rule.
+Each suite is re-run with its baseline's own parameters and fails
+(exit 1) when a scenario regresses or when the optimized and reference
+paths stop agreeing behaviourally.  A scenario counts as regressed only
+when **both** signals agree, so a slow CI runner cannot trip the gate on
+its own:
 
 * wall-clock: fresh ``optimized_s`` exceeds ``--tolerance`` × the
   recorded baseline (machine-dependent, the generous 2× of the issue
@@ -14,17 +16,19 @@ trip the gate on its own:
   measured in the same run, machine-independent) has dropped below the
   baseline's speedup / ``--tolerance``.
 
-A real hot-path regression (losing the lazy snapshot, re-sorting every
-round, …) trips both comfortably; hardware variance trips at most the
-first.
+A real hot-path regression (losing the lazy snapshot, re-validating in a
+generator, pickling graphs per sweep cell, …) trips both comfortably;
+hardware variance trips at most the first.
 
 Usage::
 
-    python benchmarks/check_regression.py                 # guard the repo baseline
-    python benchmarks/check_regression.py --baseline other.json --tolerance 1.5
-    python benchmarks/check_regression.py --update        # refresh the baseline
+    python benchmarks/check_regression.py                 # guard both baselines
+    python benchmarks/check_regression.py --suite engine  # just the engine
+    python benchmarks/check_regression.py --tolerance 1.5
+    python benchmarks/check_regression.py --update        # refresh baselines
 
-Intended both for CI and for local runs before committing engine changes.
+Intended both for CI and for local runs before committing engine or
+graph-layer changes.
 """
 
 import argparse
@@ -35,66 +39,97 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis.benchmark import run_benchmark, write_bench_json  # noqa: E402
+from repro.analysis.graphbench import run_graph_benchmark  # noqa: E402
 
-DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+_HERE = os.path.dirname(__file__)
+
+#: suite name -> (baseline path, rerun-with-baseline-params callable).
+SUITES = {
+    "engine": (
+        os.path.join(_HERE, "BENCH_engine.json"),
+        lambda params: run_benchmark(**params),
+    ),
+    "graphs": (
+        os.path.join(_HERE, "BENCH_graphs.json"),
+        lambda params: run_graph_benchmark(**params),
+    ),
+}
 
 
-def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
-                    help="baseline BENCH_engine.json to compare against")
-    ap.add_argument("--tolerance", type=float, default=2.0,
-                    help="max slowdown factor vs baseline (default 2x)")
-    ap.add_argument("--update", action="store_true",
-                    help="rewrite the baseline with this run instead of checking")
-    args = ap.parse_args(argv)
-
-    with open(args.baseline) as fh:
+def check_suite(name: str, baseline_path: str, runner, tolerance: float,
+                update: bool) -> int:
+    """Run one suite against its baseline; returns the number of failures."""
+    with open(baseline_path) as fh:
         baseline = json.load(fh)
-    params = baseline["params"]
-    fresh = run_benchmark(
-        n=params["n"], k=params["k"], rounds=params["rounds"],
-        seed=params["seed"], repeats=params["repeats"],
-    )
+    fresh = runner(baseline["params"])
 
-    if args.update:
-        write_bench_json(fresh, args.baseline)
-        print(f"baseline refreshed: {args.baseline}")
+    if update:
+        write_bench_json(fresh, baseline_path)
+        print(f"[{name}] baseline refreshed: {baseline_path}")
         return 0
 
     base_by_name = {s["scenario"]: s for s in baseline["scenarios"]}
     failures = []
-    print(f"{'scenario':<14} {'base_s':>10} {'fresh_s':>10} {'ratio':>7} "
+    print(f"[{name}]")
+    print(f"{'scenario':<22} {'base_s':>10} {'fresh_s':>10} {'ratio':>7} "
           f"{'speedup':>8}  verdict")
     for s in fresh["scenarios"]:
-        name = s["scenario"]
-        base = base_by_name.get(name)
+        sname = s["scenario"]
+        base = base_by_name.get(sname)
         if base is None:
-            print(f"{name:<14} {'-':>10} {s['optimized_s']:>10.4f} {'-':>7} "
+            print(f"{sname:<22} {'-':>10} {s['optimized_s']:>10.4f} {'-':>7} "
                   f"{s['speedup']:>7.2f}x  new (no baseline)")
             continue
         ratio = (
             s["optimized_s"] / base["optimized_s"]
             if base["optimized_s"] > 0 else float("inf")
         )
-        wall_clock_bad = ratio > args.tolerance
-        speedup_bad = s["speedup"] < base["speedup"] / args.tolerance
+        wall_clock_bad = ratio > tolerance
+        speedup_bad = s["speedup"] < base["speedup"] / tolerance
         ok = s["identical"] and not (wall_clock_bad and speedup_bad)
         verdict = "ok" if ok else "REGRESSION"
         if not s["identical"]:
             verdict = "BEHAVIOUR MISMATCH"
         elif ok and wall_clock_bad:
             verdict = "ok (slow machine: speedup held)"
-        print(f"{name:<14} {base['optimized_s']:>10.4f} {s['optimized_s']:>10.4f} "
+        print(f"{sname:<22} {base['optimized_s']:>10.4f} {s['optimized_s']:>10.4f} "
               f"{ratio:>6.2f}x {s['speedup']:>7.2f}x  {verdict}")
         if not ok:
-            failures.append(name)
+            failures.append(sname)
     if failures:
-        print(f"FAIL: {len(failures)} scenario(s) regressed: {', '.join(failures)}")
-        return 1
-    print(f"PASS: all scenarios within {args.tolerance}x of baseline "
-          f"(fresh overall speedup {fresh['overall_speedup']}x vs reference)")
-    return 0
+        print(f"[{name}] FAIL: {len(failures)} scenario(s) regressed: "
+              f"{', '.join(failures)}")
+    else:
+        print(f"[{name}] PASS: all scenarios within {tolerance}x of baseline "
+              f"(fresh overall speedup {fresh['overall_speedup']}x vs reference)")
+    return len(failures)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--suite", choices=(*SUITES, "all"), default="all",
+                    help="which baseline(s) to guard (default: all)")
+    ap.add_argument("--baseline", default=None,
+                    help="override the baseline path (single suite only)")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="max slowdown factor vs baseline (default 2x)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline(s) with this run instead of checking")
+    args = ap.parse_args(argv)
+
+    names = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.baseline is not None and len(names) != 1:
+        ap.error("--baseline requires --suite engine or --suite graphs")
+
+    failures = 0
+    for name in names:
+        baseline_path, runner = SUITES[name]
+        if args.baseline is not None:
+            baseline_path = args.baseline
+        failures += check_suite(
+            name, baseline_path, runner, args.tolerance, args.update
+        )
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

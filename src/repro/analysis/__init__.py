@@ -2,6 +2,7 @@
 
 from .benchmark import run_benchmark, write_bench_json
 from .complexity import PowerFit, doubling_ratios, fit_power_law
+from .graphbench import run_graph_benchmark
 from .experiments import (
     run_table1,
     run_table1_row,
@@ -31,5 +32,6 @@ __all__ = [
     "scaling_sweep",
     "strategy_matrix",
     "run_benchmark",
+    "run_graph_benchmark",
     "write_bench_json",
 ]

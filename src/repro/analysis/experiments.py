@@ -21,17 +21,33 @@ Rows are shipped to workers by *serial number* and re-resolved from the
 objects hold lambdas, which do not pickle).  A row object that is not
 the registry's — e.g. a hand-built ``Table1Row`` in a test — silently
 falls back to serial execution for correctness.
+
+Graphs are shipped the same way: a generator-built graph carries a
+:class:`~repro.graphs.specs.GraphSpec` (family name + bound arguments +
+seed), and the job tuple carries that spec instead of the pickled graph.
+Workers resolve specs through a per-process memo cache
+(:func:`~repro.graphs.specs.resolve_spec`), so a 20-cell matrix over one
+graph constructs it **once per worker**, not once per cell.  Generators
+are deterministic in their arguments, so the resolved graph is ``==``
+the parent's and records stay identical to a serial run.  Hand-built
+graphs (no spec) fall back to being pickled whole, exactly the PR-1
+behaviour (that path is pinned by ``tests/test_parallel_sweeps.py``).
+``scaling_sweep`` always ships graphs: each of its graphs appears in
+exactly one cell, so the memo cannot hit and reconstructing (e.g.
+resampling a random family) in the worker would cost more than
+unpickling the CSR bytes.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..byzantine.adversary import Adversary
 from ..core.runner import TABLE1, Table1Row, get_row, row_applicable
 from ..errors import ReproError
 from ..graphs.port_labeled import PortLabeledGraph
+from ..graphs.specs import GraphSpec, resolve_spec, spec_of
 from .metrics import record_from_report
 
 __all__ = [
@@ -88,6 +104,36 @@ def _registry_serial(row: Table1Row) -> Optional[int]:
     return row.serial if registered is row else None
 
 
+#: When True (default), generator-built graphs are shipped to workers as
+#: their :class:`GraphSpec` instead of being pickled.  Tests flip this to
+#: pin that the PR-1 graph-pickling path still produces identical records.
+SHIP_GRAPH_SPECS = True
+
+#: What a job tuple's graph slot may hold.
+GraphPayload = Union[PortLabeledGraph, GraphSpec]
+
+
+def _graph_payload(graph: PortLabeledGraph) -> GraphPayload:
+    """The cheapest picklable handle for ``graph``: its spec if it came
+    from a registered generator, the graph itself otherwise."""
+    spec = spec_of(graph)
+    if SHIP_GRAPH_SPECS and spec is not None:
+        return spec
+    return graph
+
+
+def _resolve_payload(payload: GraphPayload) -> PortLabeledGraph:
+    """Worker-side: turn a job's graph slot back into a graph.
+
+    Spec payloads hit the per-process memo cache in
+    :mod:`repro.graphs.specs`, so repeated cells on the same graph skip
+    reconstruction entirely.
+    """
+    if isinstance(payload, GraphSpec):
+        return resolve_spec(payload)
+    return payload
+
+
 def _map_cells(fn: Callable, jobs: Sequence[Tuple], workers: Optional[int]) -> List:
     """Run ``fn`` over ``jobs`` serially or in a process pool.
 
@@ -102,21 +148,22 @@ def _map_cells(fn: Callable, jobs: Sequence[Tuple], workers: Optional[int]) -> L
 
 def _cell_table1(job: Tuple) -> List[Dict]:
     """One (row × strategy) cell; module-level for pickling."""
-    serial, graph, strategy, seed, f = job
+    serial, payload, strategy, seed, f = job
+    graph = _resolve_payload(payload)
     return run_table1_row(get_row(serial), graph, [strategy], seed=seed, f=f)
 
 
 def _cell_tolerance(job: Tuple) -> Dict:
     """One tolerance-sweep ``f`` cell; module-level for pickling."""
-    serial, graph, f, strategy, seed = job
+    serial, payload, f, strategy, seed = job
     row = get_row(serial)
-    return _tolerance_record(row, graph, f, strategy, seed)
+    return _tolerance_record(row, _resolve_payload(payload), f, strategy, seed)
 
 
 def _cell_scaling(job: Tuple) -> Dict:
     """One scaling-sweep graph cell; module-level for pickling."""
-    serial, graph, strategy, seed, f = job
-    return _scaling_record(get_row(serial), graph, f, strategy, seed)
+    serial, payload, strategy, seed, f = job
+    return _scaling_record(get_row(serial), _resolve_payload(payload), f, strategy, seed)
 
 
 def _scaling_record(
@@ -179,8 +226,10 @@ def run_table1(
         for row in TABLE1
         if (serials is None or row.serial in serials) and row_applicable(row, graph)
     ]
+    parallel = bool(workers) and workers > 1 and len(rows) * len(strategies) > 1
+    payload = _graph_payload(graph) if parallel else graph
     jobs = [
-        (row.serial, graph, strat, seed, None)
+        (row.serial, payload, strat, seed, None)
         for row in rows
         for strat in strategies
     ]
@@ -200,8 +249,9 @@ def tolerance_sweep(
     driver allows — beyond its bound; out-of-range values are recorded as
     ``rejected`` instead of run)."""
     serial = _registry_serial(row)
-    if serial is not None and workers and workers > 1:
-        jobs = [(serial, graph, f, strategy, seed) for f in f_values]
+    if serial is not None and workers and workers > 1 and len(f_values) > 1:
+        payload = _graph_payload(graph)
+        jobs = [(serial, payload, f, strategy, seed) for f in f_values]
         return _map_cells(_cell_tolerance, jobs, workers)
     return [_tolerance_record(row, graph, f, strategy, seed) for f in f_values]
 
@@ -220,6 +270,10 @@ def scaling_sweep(
     fs = [int(row.f_max(g) * f_fraction_of_max) for g in applicable]
     serial = _registry_serial(row)
     if serial is not None and workers and workers > 1:
+        # Each graph appears in exactly one cell here, so the per-worker
+        # spec memo can never hit — and re-running a random family's
+        # sampling retry loop in the worker costs more than unpickling
+        # the CSR bytes.  Ship the graphs themselves.
         jobs = [
             (serial, g, strategy, seed, f) for g, f in zip(applicable, fs)
         ]
@@ -239,10 +293,12 @@ def strategy_matrix(
     if (
         workers
         and workers > 1
+        and len(applicable) * len(strategies) > 1
         and all(_registry_serial(row) is not None for row in applicable)
     ):
+        payload = _graph_payload(graph)
         jobs = [
-            (row.serial, graph, strat, seed, None)
+            (row.serial, payload, strat, seed, None)
             for row in applicable
             for strat in strategies
         ]

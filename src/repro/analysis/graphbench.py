@@ -1,0 +1,442 @@
+"""Graph-substrate microbenchmark: CSR fast paths vs the PR-1 graph layer.
+
+Companion to :mod:`repro.analysis.benchmark` (the engine microbenchmark),
+covering the three graph-layer costs this repo optimizes:
+
+* **construction** — closed-form generators + trusted ``_from_validated``
+  vs the old path: build a networkx object graph, label it, and re-check
+  the full O(n·Δ) structural contract in the validating constructor.  The
+  oracle builders below *are* that old path (``from_networkx`` kept its
+  validation precisely to serve as it), so the comparison is between two
+  live code paths, not against a hard-coded number.
+* **traversal** — ``traverse_fast`` (unchecked row lookup) vs ``traverse``
+  (the public checked call), and O(1) ``port_to`` vs the linear
+  neighbour scan it replaced.
+* **sweep dispatch** — shipping a :class:`~repro.graphs.specs.GraphSpec`
+  per cell and resolving it through the per-process memo cache vs
+  pickling the whole graph into every cell (the PR-1 dispatch).
+
+Every scenario also verifies behaviour: the fast path's output must be
+``==`` the reference's (graph equality covers the full port structure),
+so a speedup can never come from building the wrong graph.  The payload
+schema matches ``BENCH_engine.json`` and is guarded by the same
+two-signal rule in ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..graphs import generators as gen
+from ..graphs.port_labeled import PortLabeledGraph
+from ..graphs.specs import clear_spec_cache, resolve_spec, spec_of
+from .tables import render_table
+
+__all__ = [
+    "GRAPH_SCENARIOS",
+    "ORACLES",
+    "run_graph_benchmark",
+    "format_graph_report",
+]
+
+
+# --------------------------------------------------------------------- #
+# Oracle builders: the PR-1 construction path, kept executable
+# --------------------------------------------------------------------- #
+
+def _np_rng(seed: Optional[int]):
+    return None if seed is None else np.random.default_rng(seed)
+
+
+def _oracle_ring(n, seed=None):
+    if seed is not None:
+        return PortLabeledGraph.from_networkx(nx.cycle_graph(n), rng=_np_rng(seed))
+    return PortLabeledGraph(
+        {u: {1: ((u + 1) % n, 2), 2: ((u - 1) % n, 1)} for u in range(n)}
+    )
+
+
+def _oracle_path(n, seed=None):
+    return PortLabeledGraph.from_networkx(nx.path_graph(n), rng=_np_rng(seed))
+
+
+def _oracle_clique(n, seed=None):
+    if seed is not None:
+        return PortLabeledGraph.from_networkx(nx.complete_graph(n), rng=_np_rng(seed))
+    return PortLabeledGraph(
+        {u: {p: ((u + p) % n, n - p) for p in range(1, n)} for u in range(n)}
+    )
+
+
+def _oracle_star(n, seed=None):
+    return PortLabeledGraph.from_networkx(nx.star_graph(n - 1), rng=_np_rng(seed))
+
+
+def _oracle_hypercube(dim, seed=None):
+    if seed is not None:
+        g = nx.convert_node_labels_to_integers(nx.hypercube_graph(dim), ordering="sorted")
+        return PortLabeledGraph.from_networkx(g, rng=_np_rng(seed))
+    n = 1 << dim
+    return PortLabeledGraph(
+        {u: {p: (u ^ (1 << (p - 1)), p) for p in range(1, dim + 1)} for u in range(n)}
+    )
+
+
+def _oracle_torus(rows, cols, seed=None):
+    if seed is not None:
+        g = nx.convert_node_labels_to_integers(
+            nx.grid_2d_graph(rows, cols, periodic=True), ordering="sorted"
+        )
+        return PortLabeledGraph.from_networkx(g, rng=_np_rng(seed))
+    idx = lambda r, c: (r % rows) * cols + (c % cols)  # noqa: E731
+    return PortLabeledGraph(
+        {
+            idx(r, c): {
+                1: (idx(r + 1, c), 2),
+                2: (idx(r - 1, c), 1),
+                3: (idx(r, c + 1), 4),
+                4: (idx(r, c - 1), 3),
+            }
+            for r in range(rows)
+            for c in range(cols)
+        }
+    )
+
+
+def _oracle_complete_bipartite(a, b, seed=None):
+    return PortLabeledGraph.from_networkx(
+        nx.complete_bipartite_graph(a, b), rng=_np_rng(seed)
+    )
+
+
+def _oracle_lollipop(clique_n, path_n, seed=None):
+    return PortLabeledGraph.from_networkx(
+        nx.lollipop_graph(clique_n, path_n), rng=_np_rng(seed)
+    )
+
+
+def _oracle_random_tree(n, seed=0):
+    rng = np.random.default_rng(seed)
+    if n == 2:
+        return PortLabeledGraph.from_edges(2, [(0, 1)])
+    prufer = [int(rng.integers(0, n)) for _ in range(n - 2)]
+    return PortLabeledGraph.from_networkx(nx.from_prufer_sequence(prufer), rng=rng)
+
+
+def _oracle_random_connected(n, seed=0, avg_degree=3.0):
+    rng = np.random.default_rng(seed)
+    tree = (
+        nx.from_prufer_sequence([int(rng.integers(0, n)) for _ in range(n - 2)])
+        if n > 2
+        else nx.path_graph(n)
+    )
+    g = nx.Graph(tree)
+    extra = max(0, int(n * avg_degree / 2) - (n - 1))
+    tries = 0
+    while extra > 0 and tries < 50 * n:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        tries += 1
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            extra -= 1
+    return PortLabeledGraph.from_networkx(g, rng=rng)
+
+
+def _oracle_erdos_renyi(n, p, seed=0):
+    prob = p
+    for attempt in range(64):
+        g = nx.gnp_random_graph(n, prob, seed=seed + attempt)
+        if nx.is_connected(g):
+            return PortLabeledGraph.from_networkx(g, rng=_np_rng(seed))
+        prob = min(1.0, prob * 1.25)
+    raise RuntimeError("unreachable at benchmark sizes")
+
+
+def _oracle_random_regular(n, d, seed=0):
+    for attempt in range(64):
+        g = nx.random_regular_graph(d, n, seed=seed + attempt)
+        if nx.is_connected(g):
+            return PortLabeledGraph.from_networkx(g, rng=_np_rng(seed))
+    raise RuntimeError("unreachable at benchmark sizes")
+
+
+#: Generator name -> oracle builder with the same signature.  Exposed so
+#: the generator-equivalence tests compare the live generators against
+#: exactly this reference implementation.
+ORACLES: Dict[str, Callable] = {
+    "ring": _oracle_ring,
+    "path": _oracle_path,
+    "clique": _oracle_clique,
+    "star": _oracle_star,
+    "hypercube": _oracle_hypercube,
+    "torus": _oracle_torus,
+    "complete_bipartite": _oracle_complete_bipartite,
+    "lollipop": _oracle_lollipop,
+    "random_tree": _oracle_random_tree,
+    "random_connected": _oracle_random_connected,
+    "erdos_renyi": _oracle_erdos_renyi,
+    "random_regular": _oracle_random_regular,
+}
+
+
+#: (label, fast builder, oracle builder) baskets per construction scenario.
+_CLOSED_FORM_BASKET: List[Tuple[str, Callable, Callable]] = [
+    ("ring600", lambda: gen.ring(600), lambda: _oracle_ring(600)),
+    ("path600", lambda: gen.path(600), lambda: _oracle_path(600)),
+    ("clique72", lambda: gen.clique(72), lambda: _oracle_clique(72)),
+    ("star600", lambda: gen.star(600), lambda: _oracle_star(600)),
+    ("hypercube9", lambda: gen.hypercube(9), lambda: _oracle_hypercube(9)),
+    ("torus24x25", lambda: gen.torus(24, 25), lambda: _oracle_torus(24, 25)),
+    (
+        "bipartite24x25",
+        lambda: gen.complete_bipartite(24, 25),
+        lambda: _oracle_complete_bipartite(24, 25),
+    ),
+    ("lollipop24+48", lambda: gen.lollipop(24, 48), lambda: _oracle_lollipop(24, 48)),
+]
+
+
+def _seeded_basket(seed: int) -> List[Tuple[str, Callable, Callable]]:
+    return [
+        ("ring240s", lambda: gen.ring(240, seed), lambda: _oracle_ring(240, seed)),
+        (
+            "torus12x13s",
+            lambda: gen.torus(12, 13, seed),
+            lambda: _oracle_torus(12, 13, seed),
+        ),
+        (
+            "tree240",
+            lambda: gen.random_tree(240, seed),
+            lambda: _oracle_random_tree(240, seed),
+        ),
+        (
+            "rc160",
+            lambda: gen.random_connected(160, seed),
+            lambda: _oracle_random_connected(160, seed),
+        ),
+        (
+            "er120",
+            lambda: gen.erdos_renyi(120, 0.08, seed),
+            lambda: _oracle_erdos_renyi(120, 0.08, seed),
+        ),
+        (
+            "rr120d3",
+            lambda: gen.random_regular(120, 3, seed),
+            lambda: _oracle_random_regular(120, 3, seed),
+        ),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Scenario implementations
+# --------------------------------------------------------------------- #
+
+def _time_basket(basket, repeats: int):
+    """Best-of-``repeats`` wall time building every graph in the basket
+    through the fast and the oracle path, plus an equality verdict."""
+    fast_graphs = [build() for _, build, _ in basket]
+    oracle_graphs = [build() for _, _, build in basket]
+    identical = all(a == b for a, b in zip(fast_graphs, oracle_graphs))
+
+    def run(builders):
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            for build in builders:
+                build()
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    opt = run([build for _, build, _ in basket])
+    ref = run([build for _, _, build in basket])
+    return opt, ref, identical
+
+
+def _scenario_construct_closed_form(seed: int, repeats: int, cells: int):
+    return _time_basket(_CLOSED_FORM_BASKET, repeats)
+
+
+def _scenario_construct_seeded(seed: int, repeats: int, cells: int):
+    return _time_basket(_seeded_basket(seed), repeats)
+
+
+def _scenario_traverse(seed: int, repeats: int, cells: int):
+    """Port-ordered edge sweeps, the inner loop of every map helper
+    (view partition, canonical forms, BFS/Euler tours): ``port_row``
+    iteration (the new idiom) vs one checked ``traverse`` call per edge
+    (the PR-1 idiom)."""
+    graph = gen.torus(16, 16)
+    passes = 40
+    nodes = range(graph.n)
+    degrees = [graph.degree(u) for u in nodes]
+
+    def sweep_rows() -> int:
+        acc = 0
+        row_of = graph.port_row
+        for _ in range(passes):
+            for u in nodes:
+                for p, (v, q) in enumerate(row_of(u), start=1):
+                    acc += p + v + q
+        return acc
+
+    def sweep_checked() -> int:
+        acc = 0
+        step = graph.traverse
+        for _ in range(passes):
+            for u in nodes:
+                for p in range(1, degrees[u] + 1):
+                    v, q = step(u, p)
+                    acc += p + v + q
+        return acc
+
+    def run(sweep):
+        best, acc = None, None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            acc = sweep()
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, acc
+
+    opt, acc_fast = run(sweep_rows)
+    ref, acc_checked = run(sweep_checked)
+    return opt, ref, acc_fast == acc_checked
+
+
+def _scenario_port_lookup(seed: int, repeats: int, cells: int):
+    """O(1) ``port_to`` vs the PR-1 linear neighbour scan."""
+    graph = gen.clique(96)
+    rows = graph._ports
+    pairs = [(u, v) for u in range(graph.n) for v in graph.neighbours(u)]
+
+    def scan_port_to(u: int, v: int) -> int:
+        for p0, (w, _) in enumerate(rows[u]):
+            if w == v:
+                return p0 + 1
+        raise AssertionError("unreachable: v is a neighbour")
+
+    def run(lookup):
+        best, out = None, None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            out = [lookup(u, v) for u, v in pairs]
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, out
+
+    opt, fast_ports = run(graph.port_to)
+    ref, scan_ports = run(scan_port_to)
+    return opt, ref, fast_ports == scan_ports
+
+
+def _scenario_sweep_dispatch(seed: int, repeats: int, cells: int):
+    """Per-cell dispatch cost of a ``cells``-cell sweep over one graph:
+    spec + per-process memo (new) vs pickled graph per cell (PR 1)."""
+    graph = gen.random_connected(220, seed=seed)
+    spec = spec_of(graph)
+    assert spec is not None
+
+    def via_specs():
+        resolved = None
+        for _ in range(cells):
+            payload = pickle.dumps(spec)
+            resolved = resolve_spec(pickle.loads(payload))
+        return resolved
+
+    def via_graphs():
+        resolved = None
+        for _ in range(cells):
+            payload = pickle.dumps(graph)
+            resolved = pickle.loads(payload)
+        return resolved
+
+    def run(dispatch):
+        best, out = None, None
+        for _ in range(max(1, repeats)):
+            clear_spec_cache()  # each repeat pays one real construction
+            t0 = time.perf_counter()
+            out = dispatch()
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, out
+
+    opt, spec_graph = run(via_specs)
+    ref, pickled_graph = run(via_graphs)
+    return opt, ref, spec_graph == graph and pickled_graph == graph
+
+
+#: name -> callable(seed, repeats, cells) -> (optimized_s, reference_s, identical)
+GRAPH_SCENARIOS: Dict[str, Callable] = {
+    "construct_closed_form": _scenario_construct_closed_form,
+    "construct_seeded": _scenario_construct_seeded,
+    "traverse": _scenario_traverse,
+    "port_lookup": _scenario_port_lookup,
+    "sweep_dispatch": _scenario_sweep_dispatch,
+}
+
+
+# --------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------- #
+
+def run_graph_benchmark(
+    seed: int = 0,
+    repeats: int = 3,
+    cells: int = 24,
+    scenarios: Optional[List[str]] = None,
+) -> Dict:
+    """Run the graph microbenchmark; returns the BENCH_graphs payload."""
+    names = list(GRAPH_SCENARIOS) if scenarios is None else list(scenarios)
+    results = []
+    for name in names:
+        opt_s, ref_s, identical = GRAPH_SCENARIOS[name](seed, repeats, cells)
+        results.append(
+            {
+                "scenario": name,
+                "optimized_s": round(opt_s, 6),
+                "reference_s": round(ref_s, 6),
+                "speedup": round(ref_s / opt_s, 3) if opt_s > 0 else float("inf"),
+                "identical": identical,
+            }
+        )
+    total_opt = sum(r["optimized_s"] for r in results)
+    total_ref = sum(r["reference_s"] for r in results)
+    return {
+        "benchmark": "graphs",
+        "params": {"seed": seed, "repeats": repeats, "cells": cells},
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": results,
+        "total_optimized_s": round(total_opt, 6),
+        "total_reference_s": round(total_ref, 6),
+        "overall_speedup": round(total_ref / total_opt, 3) if total_opt else 0.0,
+        "all_identical": all(r["identical"] for r in results),
+    }
+
+
+def format_graph_report(payload: Dict) -> str:
+    """Human-readable report for a :func:`run_graph_benchmark` payload."""
+    table = render_table(
+        payload["scenarios"],
+        columns=["scenario", "optimized_s", "reference_s", "speedup", "identical"],
+        title="Graph substrate microbenchmark (CSR fast paths vs PR-1 layer)",
+    )
+    return (
+        f"{table}\n"
+        f"overall speedup   : {payload['overall_speedup']}x\n"
+        f"behaviour matched : {payload['all_identical']}"
+    )

@@ -18,7 +18,7 @@ def check_canonical_ring(graph: PortLabeledGraph) -> None:
     for u in range(n):
         if graph.degree(u) != 2:
             raise GraphStructureError("not a ring: node degree != 2")
-        nxt, back = graph.traverse(u, 1)
+        nxt, back = graph.traverse_fast(u, 1)
         if nxt != (u + 1) % n or back != 2:
             raise GraphStructureError(
                 "ring baseline requires the canonical symmetric port labeling"

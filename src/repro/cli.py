@@ -7,7 +7,8 @@ Commands
 ``tolerance``    sweep f for one row
 ``impossible``   run the Theorem 8 construction
 ``strategies``   list the adversary zoo
-``bench``        engine microbenchmark (optimized vs reference engine)
+``bench``        microbenchmarks: engine and/or graph substrate
+                 (``--suite engine|graphs|all``)
 
 Sweep commands accept ``--workers N`` to fan independent cells out over
 ``N`` processes; records are identical to (and ordered like) a serial
@@ -20,6 +21,7 @@ Examples::
     python -m repro tolerance --row 5 --n 9
     python -m repro impossible --n 6 --k 12 --f 6
     python -m repro bench --out BENCH_engine.json
+    python -m repro bench --suite graphs --graphs-out BENCH_graphs.json
 """
 
 from __future__ import annotations
@@ -29,8 +31,15 @@ import json
 import sys
 from typing import List, Optional
 
-from .analysis import render_table, run_benchmark, run_table1, tolerance_sweep
+from .analysis import (
+    render_table,
+    run_benchmark,
+    run_graph_benchmark,
+    run_table1,
+    tolerance_sweep,
+)
 from .analysis.benchmark import format_report, write_bench_json
+from .analysis.graphbench import format_graph_report
 from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
 from .core import demonstrate_impossibility, get_row
 from .graphs import is_quotient_isomorphic, random_connected
@@ -121,17 +130,31 @@ def _cmd_strategies(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    payload = run_benchmark(
-        n=args.n, k=args.k, rounds=args.rounds, seed=args.seed,
-        repeats=args.repeats,
-    )
-    print(format_report(payload))
-    if args.out:
-        write_bench_json(payload, args.out)
-        print(f"wrote {args.out}")
-    if args.json:
-        print(json.dumps(payload, indent=2))
-    return 0 if payload["all_identical"] else 1
+    ok = True
+    if args.suite in ("engine", "all"):
+        payload = run_benchmark(
+            n=args.n, k=args.k, rounds=args.rounds, seed=args.seed,
+            repeats=args.repeats,
+        )
+        print(format_report(payload))
+        if args.out:
+            write_bench_json(payload, args.out)
+            print(f"wrote {args.out}")
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        ok = ok and payload["all_identical"]
+    if args.suite in ("graphs", "all"):
+        payload = run_graph_benchmark(
+            seed=args.seed, repeats=args.repeats, cells=args.cells
+        )
+        print(format_graph_report(payload))
+        if args.graphs_out:
+            write_bench_json(payload, args.graphs_out)
+            print(f"wrote {args.graphs_out}")
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        ok = ok and payload["all_identical"]
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,15 +201,22 @@ def build_parser() -> argparse.ArgumentParser:
     ls.set_defaults(func=_cmd_strategies)
 
     be = sub.add_parser(
-        "bench", help="engine microbenchmark: optimized vs reference engine"
+        "bench", help="microbenchmarks: engine and/or graph substrate"
     )
-    be.add_argument("--n", type=int, default=96, help="graph size")
-    be.add_argument("--k", type=int, default=64, help="robot count")
-    be.add_argument("--rounds", type=int, default=500, help="rounds per scenario")
+    be.add_argument("--suite", choices=("engine", "graphs", "all"), default="engine",
+                    help="which microbenchmark(s) to run (default: engine)")
+    be.add_argument("--n", type=int, default=96, help="graph size (engine suite)")
+    be.add_argument("--k", type=int, default=64, help="robot count (engine suite)")
+    be.add_argument("--rounds", type=int, default=500,
+                    help="rounds per scenario (engine suite)")
     be.add_argument("--seed", type=int, default=0)
     be.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
+    be.add_argument("--cells", type=int, default=24,
+                    help="sweep cells in the dispatch scenario (graphs suite)")
     be.add_argument("--out", default="BENCH_engine.json",
-                    help="JSON output path ('' to skip writing)")
+                    help="engine JSON output path ('' to skip writing)")
+    be.add_argument("--graphs-out", default="BENCH_graphs.json",
+                    help="graphs JSON output path ('' to skip writing)")
     be.add_argument("--json", action="store_true", help="also print the JSON payload")
     be.set_defaults(func=_cmd_bench)
     return p

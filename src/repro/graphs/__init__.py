@@ -36,11 +36,16 @@ from .isomorphism import (
 )
 from .port_labeled import PortLabeledGraph
 from .quotient import QuotientGraph, is_quotient_isomorphic, quotient_graph
+from .specs import GraphSpec, clear_spec_cache, resolve_spec, spec_of
 from .traversal import TourStep, bfs_order, euler_tour, navigate, path_nodes
 from .views import truncated_view, view_partition, view_signature
 
 __all__ = [
     "PortLabeledGraph",
+    "GraphSpec",
+    "spec_of",
+    "resolve_spec",
+    "clear_spec_cache",
     "QuotientGraph",
     "quotient_graph",
     "is_quotient_isomorphic",

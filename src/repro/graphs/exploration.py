@@ -145,7 +145,7 @@ def random_walk_cover(
                 f"random walk failed to cover the graph within {max_steps} steps"
             )
         port = int(rng.integers(1, graph.degree(cur) + 1))
-        cur, _ = graph.traverse(cur, port)
+        cur, _ = graph.traverse_fast(cur, port)
         steps += 1
         if cur not in visited:
             visited.add(cur)

@@ -49,8 +49,7 @@ def canonical_form(graph: PortLabeledGraph, root: int) -> CanonicalForm:
     queue = deque([root])
     while queue:
         u = queue.popleft()
-        for p in graph.ports(u):
-            v, _ = graph.traverse(u, p)
+        for v, _ in graph.port_row(u):
             if v not in canon:
                 canon[v] = len(canon)
                 order.append(v)
@@ -58,8 +57,7 @@ def canonical_form(graph: PortLabeledGraph, root: int) -> CanonicalForm:
     rows: List[Tuple[int, int, int, int]] = []
     for u in order:
         cu = canon[u]
-        for p in graph.ports(u):
-            v, q = graph.traverse(u, p)
+        for p, (v, q) in enumerate(graph.port_row(u), start=1):
             rows.append((cu, p, canon[v], q))
     return tuple(rows)
 
@@ -107,9 +105,8 @@ def find_isomorphism(
         w = mapping[u]
         if g1.degree(u) != g2.degree(w):
             return None
-        for p in g1.ports(u):
-            v1, q1 = g1.traverse(u, p)
-            v2, q2 = g2.traverse(w, p)
+        # Degrees were checked equal above, so the rows zip exactly.
+        for (v1, q1), (v2, q2) in zip(g1.port_row(u), g2.port_row(w)):
             if q1 != q2:
                 return None
             if v1 in mapping:

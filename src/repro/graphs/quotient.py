@@ -102,10 +102,9 @@ def quotient_graph(graph: PortLabeledGraph) -> QuotientGraph:
     port_map: List[Tuple[Tuple[int, int], ...]] = []
     for c in range(num_classes):
         u = representative[c]
-        row: List[Tuple[int, int]] = []
-        for p in graph.ports(u):
-            v, q = graph.traverse(u, p)
-            row.append((class_of[v], q))
+        row: List[Tuple[int, int]] = [
+            (class_of[v], q) for v, q in graph.port_row(u)
+        ]
         port_map.append(tuple(row))
     return QuotientGraph(
         num_classes=num_classes,

@@ -1,0 +1,102 @@
+"""Graph specs: name-the-recipe handles for generator-built graphs.
+
+A :class:`GraphSpec` is a tiny picklable value — generator family name
+plus the fully-bound call arguments — that deterministically identifies
+one generator output.  Every generator in
+:mod:`repro.graphs.generators` tags the graphs it returns with their
+spec, and :func:`resolve_spec` rebuilds the identical graph from the
+tag.
+
+The point is sweep dispatch: shipping a 30-byte spec to a worker process
+instead of a pickled ``2m``-entry graph, and memoising resolution
+per-process (:data:`_CACHE`), means a 20-cell strategy matrix constructs
+each graph **once per worker** instead of once per cell — and the parent
+process never serialises the graph at all.  Generators are deterministic
+functions of their arguments, so the resolved graph is ``==`` the tagged
+original and sweep records stay byte-identical to a serial run.
+
+Hand-built graphs (``PortLabeledGraph(...)``, ``from_networkx``,
+``relabel``) carry no spec; sweeps fall back to pickling the graph
+itself (cheap now too: CSR-bytes ``__reduce__``).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Callable, Dict, NamedTuple, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .port_labeled import PortLabeledGraph
+
+__all__ = ["GraphSpec", "spec_of", "resolve_spec", "clear_spec_cache", "register_family"]
+
+
+class GraphSpec(NamedTuple):
+    """A deterministic recipe for one generator-built graph.
+
+    ``family`` is the generator's registered name; ``args`` is the fully
+    bound ``(parameter, value)`` tuple (defaults applied), so two calls
+    that produce the same graph produce the same spec regardless of how
+    the arguments were spelled.
+    """
+
+    family: str
+    args: Tuple[Tuple[str, object], ...]
+
+
+#: family name -> generator callable (populated by ``@_tagged`` in
+#: :mod:`repro.graphs.generators` at import time).
+_REGISTRY: Dict[str, Callable[..., PortLabeledGraph]] = {}
+
+#: Per-process memo: spec -> resolved graph.  In a sweep worker this is
+#: exactly the "construct each graph once per worker" cache.  Entries are
+#: immutable graphs, safe to share across cells.
+_CACHE: Dict[GraphSpec, PortLabeledGraph] = {}
+
+
+def register_family(name: str, fn: Callable[..., PortLabeledGraph]) -> None:
+    """Register ``fn`` as the builder for ``name`` specs."""
+    _REGISTRY[name] = fn
+
+
+def spec_of(graph: PortLabeledGraph) -> Optional[GraphSpec]:
+    """The generator spec ``graph`` was built from, or ``None``."""
+    return graph._spec
+
+
+def tagged(fn: Callable[..., PortLabeledGraph]) -> Callable[..., PortLabeledGraph]:
+    """Decorator: register a generator and tag its outputs with their spec."""
+    sig = inspect.signature(fn)
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        bound = sig.bind(*args, **kwargs)
+        bound.apply_defaults()
+        graph = fn(*args, **kwargs)
+        graph._spec = GraphSpec(name, tuple(bound.arguments.items()))
+        return graph
+
+    register_family(name, wrapper)
+    return wrapper
+
+
+def resolve_spec(spec: GraphSpec) -> PortLabeledGraph:
+    """Rebuild (or fetch from the per-process memo) the graph for ``spec``."""
+    graph = _CACHE.get(spec)
+    if graph is None:
+        if spec.family not in _REGISTRY:
+            # A worker may resolve before anything imported the generators.
+            from . import generators  # noqa: F401  (import populates the registry)
+        fn = _REGISTRY.get(spec.family)
+        if fn is None:
+            raise ConfigurationError(f"unknown graph family {spec.family!r}")
+        graph = fn(**dict(spec.args))
+        _CACHE[spec] = graph
+    return graph
+
+
+def clear_spec_cache() -> None:
+    """Drop the per-process memo (tests; long-lived servers with churn)."""
+    _CACHE.clear()

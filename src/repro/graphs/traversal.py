@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ..errors import MapError
+from ..errors import MapError, PortError
 from .port_labeled import PortLabeledGraph
 
 __all__ = ["TourStep", "euler_tour", "navigate", "bfs_order", "path_nodes"]
@@ -64,23 +64,14 @@ def euler_tour(graph: PortLabeledGraph, root: int) -> List[TourStep]:
     visited = {root}
     steps: List[TourStep] = []
 
-    def dfs(u: int) -> None:
-        for p in graph.ports(u):
-            v, q = graph.traverse(u, p)
-            if v in visited:
-                continue
-            visited.add(v)
-            steps.append(TourStep(port=p, node=v, first_visit=True))
-            dfs(v)
-            steps.append(TourStep(port=q, node=u, first_visit=False))
-
-    # Iterative version to dodge recursion limits on large path-like maps.
+    # Iterative DFS to dodge recursion limits on large path-like maps.
     stack: List[Tuple[int, int]] = [(root, 1)]
     while stack:
         u, next_port = stack.pop()
         advanced = False
-        for p in range(next_port, graph.degree(u) + 1):
-            v, q = graph.traverse(u, p)
+        row = graph.port_row(u)
+        for p in range(next_port, len(row) + 1):
+            v, q = row[p - 1]
             if v in visited:
                 continue
             visited.add(v)
@@ -101,11 +92,10 @@ def euler_tour(graph: PortLabeledGraph, root: int) -> List[TourStep]:
 
 
 def _port_between(graph: PortLabeledGraph, u: int, v: int) -> int:
-    for p in graph.ports(u):
-        w, _ = graph.traverse(u, p)
-        if w == v:
-            return p
-    raise MapError(f"map has no edge {u} -> {v}")
+    try:
+        return graph.port_to(u, v)
+    except PortError:
+        raise MapError(f"map has no edge {u} -> {v}") from None
 
 
 def _covers_all(graph: PortLabeledGraph, root: int, visited: set) -> bool:
@@ -125,8 +115,7 @@ def navigate(graph: PortLabeledGraph, src: int, dst: int) -> List[int]:
     seen = {src}
     while queue:
         u = queue.popleft()
-        for p in graph.ports(u):
-            v, _ = graph.traverse(u, p)
+        for p, (v, _) in enumerate(graph.port_row(u), start=1):
             if v in seen:
                 continue
             seen.add(v)
@@ -168,8 +157,7 @@ def bfs_order(graph: PortLabeledGraph, root: int) -> List[int]:
     queue = deque([root])
     while queue:
         u = queue.popleft()
-        for p in graph.ports(u):
-            v, _ = graph.traverse(u, p)
+        for v, _ in graph.port_row(u):
             if v not in seen:
                 seen.add(v)
                 order.append(v)

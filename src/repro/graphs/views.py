@@ -40,8 +40,7 @@ def view_partition(graph: PortLabeledGraph) -> List[int]:
         signatures: List[Tuple] = []
         for u in range(n):
             sig = [class_of[u]]
-            for p in graph.ports(u):
-                v, q = graph.traverse(u, p)
+            for p, (v, q) in enumerate(graph.port_row(u), start=1):
                 sig.append((p, q, class_of[v]))
             signatures.append(tuple(sig))
         new_class = _canonical(signatures)
@@ -88,7 +87,6 @@ def truncated_view(graph: PortLabeledGraph, u: int, depth: int) -> Tuple:
     if depth == 0:
         return (graph.degree(u), ())
     children = []
-    for p in graph.ports(u):
-        v, q = graph.traverse(u, p)
+    for p, (v, q) in enumerate(graph.port_row(u), start=1):
         children.append((p, q, truncated_view(graph, v, depth - 1)))
     return (graph.degree(u), tuple(children))

@@ -298,9 +298,9 @@ def plan_honest_run(graph: PortLabeledGraph, root: int) -> Tuple[int, PortLabele
                 ticks += 1
                 arrival = None
                 if self_port:
-                    agent, arrival = graph.traverse(agent, self_port)
+                    agent, arrival = graph.traverse_fast(agent, self_port)
                 if token_port:
-                    token, _ = graph.traverse(token, token_port)
+                    token, _ = graph.traverse_fast(token, token_port)
                 resp = (graph.degree(agent), arrival)
             elif op[0] == "check":
                 resp = agent == token

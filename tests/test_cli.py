@@ -95,3 +95,22 @@ class TestBench:
         ])
         assert rc == 0
         assert "overall speedup" in capsys.readouterr().out
+
+    def test_bench_graphs_suite_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_graphs.json"
+        rc = main([
+            "bench", "--suite", "graphs", "--repeats", "1", "--cells", "4",
+            "--graphs-out", str(out_path),
+        ])
+        printed = capsys.readouterr().out
+        assert rc == 0
+        assert "Graph substrate microbenchmark" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "graphs"
+        assert payload["all_identical"] is True
+        assert {s["scenario"] for s in payload["scenarios"]} == {
+            "construct_closed_form", "construct_seeded", "traverse",
+            "port_lookup", "sweep_dispatch",
+        }

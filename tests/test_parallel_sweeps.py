@@ -6,6 +6,11 @@ The experiments layer fans sweep cells out over processes when
 tolerance sweep's narrowed exception handling: only the repro error
 hierarchy is a legitimate "rejected" outcome — anything else is an
 engine bug and must propagate.
+
+Graph dispatch has two wire formats: generator-built graphs ship as
+their :class:`GraphSpec` (resolved through a per-worker memo cache);
+spec-less graphs fall back to being pickled whole (the PR-1 path).
+Both must return records identical to serial — and to each other.
 """
 
 import pytest
@@ -16,10 +21,12 @@ from repro.analysis import (
     strategy_matrix,
     tolerance_sweep,
 )
+from repro.analysis import experiments
+from repro.analysis.experiments import _graph_payload
 from repro.core import TABLE1, get_row
 from repro.core.runner import Table1Row
 from repro.errors import ConfigurationError
-from repro.graphs import random_connected
+from repro.graphs import GraphSpec, PortLabeledGraph, random_connected, spec_of
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +64,67 @@ class TestParallelMatchesSerial:
     def test_workers_one_is_serial(self, g):
         assert run_table1(g, strategies=["idle"], serials=[5], workers=1) == \
             run_table1(g, strategies=["idle"], serials=[5])
+
+
+class TestSpecDispatch:
+    """Spec-shipped parallel runs must equal serial runs AND the PR-1
+    graph-pickling runs, for every sweep entry point."""
+
+    def test_generator_graph_ships_as_spec(self, g):
+        payload = _graph_payload(g)
+        assert isinstance(payload, GraphSpec)
+        assert payload == spec_of(g)
+
+    def test_hand_built_graph_ships_whole(self):
+        hand_built = PortLabeledGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert spec_of(hand_built) is None
+        assert _graph_payload(hand_built) is hand_built
+
+    def test_ship_specs_flag_selects_the_pickling_path(self, g, monkeypatch):
+        monkeypatch.setattr(experiments, "SHIP_GRAPH_SPECS", False)
+        assert _graph_payload(g) is g
+
+    def test_run_table1_spec_vs_pickled_vs_serial(self, g, monkeypatch):
+        serial = run_table1(g, strategies=["squatter"], serials=[4, 5])
+        spec_shipped = run_table1(
+            g, strategies=["squatter"], serials=[4, 5], workers=2
+        )
+        monkeypatch.setattr(experiments, "SHIP_GRAPH_SPECS", False)
+        graph_shipped = run_table1(
+            g, strategies=["squatter"], serials=[4, 5], workers=2
+        )
+        assert spec_shipped == serial
+        assert graph_shipped == serial
+
+    def test_tolerance_sweep_spec_vs_pickled_vs_serial(self, g, monkeypatch):
+        row = get_row(5)
+        serial = tolerance_sweep(row, g, [0, 1, 2], "squatter")
+        spec_shipped = tolerance_sweep(row, g, [0, 1, 2], "squatter", workers=3)
+        monkeypatch.setattr(experiments, "SHIP_GRAPH_SPECS", False)
+        graph_shipped = tolerance_sweep(row, g, [0, 1, 2], "squatter", workers=3)
+        assert spec_shipped == serial
+        assert graph_shipped == serial
+
+    def test_scaling_sweep_mixed_payloads(self, monkeypatch):
+        """A sweep mixing generator graphs (spec) and hand-built graphs
+        (pickled) must still match serial exactly."""
+        row = get_row(5)
+        graphs = [
+            random_connected(6, seed=1),
+            PortLabeledGraph.from_edges(
+                8, [(i, (i + 1) % 8) for i in range(8)] + [(0, 4)]
+            ),
+        ]
+        assert spec_of(graphs[0]) is not None and spec_of(graphs[1]) is None
+        serial = scaling_sweep(row, graphs, "idle")
+        parallel = scaling_sweep(row, graphs, "idle", workers=2)
+        assert parallel == serial
+
+    def test_strategy_matrix_spec_vs_serial(self, g):
+        rows = [get_row(4), get_row(5)]
+        serial = strategy_matrix(rows, g, ["squatter", "idle"])
+        parallel = strategy_matrix(rows, g, ["squatter", "idle"], workers=2)
+        assert parallel == serial
 
 
 def _fake_row(solver):

@@ -151,6 +151,80 @@ class TestRelabel:
         assert g1 != ring(4)
 
 
+class TestCSRSubstrate:
+    """The flat-array layout, its fast paths, and the trusted constructor."""
+
+    def test_traverse_fast_matches_traverse(self, zoo_graph):
+        g = zoo_graph
+        for u in range(g.n):
+            for p in g.ports(u):
+                assert g.traverse_fast(u, p) == g.traverse(u, p)
+
+    def test_port_row_matches_traverse(self, zoo_graph):
+        g = zoo_graph
+        for u in range(g.n):
+            row = g.port_row(u)
+            assert len(row) == g.degree(u)
+            for p in g.ports(u):
+                assert row[p - 1] == g.traverse(u, p)
+
+    def test_csr_layout_consistent(self, zoo_graph):
+        g = zoo_graph
+        offsets, dest, in_port = g.csr()
+        assert len(offsets) == g.n + 1
+        assert offsets[0] == 0 and offsets[g.n] == 2 * g.m
+        assert len(dest) == len(in_port) == 2 * g.m
+        for u in range(g.n):
+            base = offsets[u]
+            assert offsets[u + 1] - base == g.degree(u)
+            for p in g.ports(u):
+                assert (dest[base + p - 1], in_port[base + p - 1]) == g.traverse(u, p)
+
+    def test_port_to_all_pairs_and_missing(self, zoo_graph):
+        g = zoo_graph
+        for u in range(g.n):
+            nbrs = set(g.neighbours(u))
+            for v in nbrs:
+                assert g.traverse(u, g.port_to(u, v))[0] == v
+            for v in range(g.n):
+                if v not in nbrs:
+                    with pytest.raises(PortError):
+                        g.port_to(u, v)
+
+    def test_pickle_round_trip(self, zoo_graph):
+        import pickle
+
+        g = zoo_graph
+        h = pickle.loads(pickle.dumps(g))
+        assert h == g and hash(h) == hash(g)
+        assert h.csr() == g.csr()
+        # Derived caches work on the unpickled copy too.
+        assert h.is_connected() == g.is_connected()
+        for u in range(h.n):
+            assert h.neighbours(u) == g.neighbours(u)
+
+    def test_pickle_preserves_spec(self):
+        import pickle
+
+        from repro.graphs import spec_of
+
+        g = ring(7, seed=2)
+        h = pickle.loads(pickle.dumps(g))
+        assert spec_of(h) == spec_of(g) is not None
+
+    def test_from_validated_equals_validating_constructor(self, zoo_graph):
+        g = zoo_graph
+        rows = tuple(g.port_row(u) for u in range(g.n))
+        assert PortLabeledGraph._from_validated(rows) == g
+
+    def test_relabel_skips_revalidation_but_stays_legal(self, zoo_graph):
+        g = zoo_graph
+        perm = list(reversed(range(g.n)))
+        h = g.relabel(perm)
+        # Re-validating the relabeled structure from scratch must succeed.
+        assert PortLabeledGraph(h.port_table()) == h
+
+
 class TestNetworkxRoundTrip:
     def test_to_networkx_same_edges(self, zoo_graph):
         g = zoo_graph
