@@ -57,13 +57,30 @@ SUITES = {
 
 
 def check_suite(name: str, baseline_path: str, runner, tolerance: float,
-                update: bool) -> int:
+                update: bool, allow_schema_change: bool = False) -> int:
     """Run one suite against its baseline; returns the number of failures."""
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     fresh = runner(baseline["params"])
 
     if update:
+        base_schema = baseline.get("store_schema_version")
+        fresh_schema = fresh.get("store_schema_version")
+        if (
+            base_schema is not None
+            and fresh_schema != base_schema
+            and not allow_schema_change
+        ):
+            # A baseline refresh must not silently paper over a record-
+            # schema bump: the run-store cache keys (and hence every
+            # cached sweep) changed meaning.  Make the operator say so.
+            print(
+                f"[{name}] REFUSING --update: fresh payload has "
+                f"store_schema_version={fresh_schema} but the baseline was "
+                f"recorded under {base_schema}; re-run with "
+                f"--allow-schema-change if the bump is intentional"
+            )
+            return 1
         write_bench_json(fresh, baseline_path)
         print(f"[{name}] baseline refreshed: {baseline_path}")
         return 0
@@ -115,6 +132,9 @@ def main(argv=None) -> int:
                     help="max slowdown factor vs baseline (default 2x)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline(s) with this run instead of checking")
+    ap.add_argument("--allow-schema-change", action="store_true",
+                    help="let --update cross a run-store schema-version bump "
+                         "(refused by default)")
     args = ap.parse_args(argv)
 
     names = list(SUITES) if args.suite == "all" else [args.suite]
@@ -127,7 +147,8 @@ def main(argv=None) -> int:
         if args.baseline is not None:
             baseline_path = args.baseline
         failures += check_suite(
-            name, baseline_path, runner, args.tolerance, args.update
+            name, baseline_path, runner, args.tolerance, args.update,
+            allow_schema_change=args.allow_schema_change,
         )
     return 1 if failures else 0
 

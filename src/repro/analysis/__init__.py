@@ -4,6 +4,9 @@ from .benchmark import run_benchmark, write_bench_json
 from .complexity import PowerFit, doubling_ratios, fit_power_law
 from .graphbench import run_graph_benchmark
 from .experiments import (
+    SweepCell,
+    cell_key_of,
+    execute_plan,
     run_table1,
     run_table1_row,
     scaling_sweep,
@@ -11,10 +14,16 @@ from .experiments import (
     tolerance_sweep,
 )
 from .metrics import record_from_report, success_rate, summarize
+from .store import RunStore, cell_key
 from .tables import format_big, render_table
 from .validation import dispersion_violations, is_dispersed, settlement_histogram
 
 __all__ = [
+    "RunStore",
+    "SweepCell",
+    "cell_key",
+    "cell_key_of",
+    "execute_plan",
     "PowerFit",
     "fit_power_law",
     "doubling_ratios",

@@ -26,6 +26,7 @@ from ..graphs.generators import random_connected, ring
 from ..sim.reference import ReferenceWorld
 from ..sim.robot import Move, Sleep, Stay
 from ..sim.world import World
+from .store import SCHEMA_VERSION as STORE_SCHEMA_VERSION
 from .tables import render_table
 
 __all__ = [
@@ -219,6 +220,7 @@ def run_benchmark(
     total_ref = sum(r["reference_s"] for r in results)
     return {
         "benchmark": "engine",
+        "store_schema_version": STORE_SCHEMA_VERSION,
         "params": {"n": n, "k": k, "rounds": rounds, "seed": seed, "repeats": repeats},
         "env": {
             "python": platform.python_version(),

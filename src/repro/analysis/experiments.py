@@ -36,27 +36,52 @@ behaviour (that path is pinned by ``tests/test_parallel_sweeps.py``).
 exactly one cell, so the memo cannot hit and reconstructing (e.g.
 resampling a random family) in the worker would cost more than
 unpickling the CSR bytes.
+
+Sweep plans and the run store
+-----------------------------
+All four public sweeps are thin wrappers that compile their grid into an
+explicit list of :class:`SweepCell` values and hand it to
+:func:`execute_plan`.  The executor optionally carries a
+:class:`~repro.analysis.store.RunStore`: completed cells are streamed to
+the store **as they finish** (chunked ``Executor.map`` submission,
+results reassembled in submission order), and on a re-run with
+``resume=True`` every cell whose content key is already present is
+answered from disk without touching a solver.  Record lists stay
+byte-identical to a serial, store-less run in every mode — serial,
+``workers>1``, resumed-from-partial-store, and fully warm (zero solver
+calls).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..byzantine.adversary import Adversary
 from ..core.runner import TABLE1, Table1Row, get_row, row_applicable
 from ..errors import ReproError
 from ..graphs.port_labeled import PortLabeledGraph
-from ..graphs.specs import GraphSpec, resolve_spec, spec_of
+from ..graphs.specs import GraphSpec, canonical_spec, graph_fingerprint, resolve_spec, spec_of
 from .metrics import record_from_report
+from .store import RunStore, cell_key
 
 __all__ = [
+    "SweepCell",
+    "cell_key_of",
+    "execute_plan",
     "run_table1_row",
     "run_table1",
     "tolerance_sweep",
     "scaling_sweep",
     "strategy_matrix",
 ]
+
+#: Default ``Executor.map`` chunksize for plan execution.  1 keeps cell
+#: dispatch maximally load-balanced (the PR-1/2 behaviour); larger
+#: chunks amortise IPC for big grids of cheap cells.  Never affects
+#: record values or order.
+DEFAULT_CHUNK = 1
 
 
 def run_table1_row(
@@ -134,36 +159,143 @@ def _resolve_payload(payload: GraphPayload) -> PortLabeledGraph:
     return payload
 
 
-def _map_cells(fn: Callable, jobs: Sequence[Tuple], workers: Optional[int]) -> List:
-    """Run ``fn`` over ``jobs`` serially or in a process pool.
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent solver invocation in a sweep plan.
 
-    ``Executor.map`` yields results in submission order, so the output is
-    byte-identical to the serial list regardless of worker scheduling.
+    ``kind`` selects the record shape: ``"table1"`` (also used by the
+    strategy matrix), ``"tolerance"`` (rejection-aware), or
+    ``"scaling"`` (adds ``m``).  ``payload`` is the graph itself or its
+    :class:`GraphSpec`; the content key is identical either way, so a
+    cell computed serially (graph payload) is found by a later parallel
+    run (spec payload) and vice versa.  ``f=None`` means "the row's
+    tolerance bound on this graph" (deterministic given row + graph,
+    hence safe to cache under ``None``).
     """
-    if not workers or workers <= 1 or len(jobs) <= 1:
-        return [fn(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        return list(pool.map(fn, jobs))
+
+    kind: str
+    serial: int
+    payload: GraphPayload
+    strategy: str
+    seed: int
+    f: Optional[int] = None
 
 
-def _cell_table1(job: Tuple) -> List[Dict]:
-    """One (row × strategy) cell; module-level for pickling."""
-    serial, payload, strategy, seed, f = job
-    graph = _resolve_payload(payload)
-    return run_table1_row(get_row(serial), graph, [strategy], seed=seed, f=f)
+def _payload_fingerprint(payload: GraphPayload):
+    if isinstance(payload, GraphSpec):
+        return canonical_spec(payload)
+    return graph_fingerprint(payload)
 
 
-def _cell_tolerance(job: Tuple) -> Dict:
-    """One tolerance-sweep ``f`` cell; module-level for pickling."""
-    serial, payload, f, strategy, seed = job
-    row = get_row(serial)
-    return _tolerance_record(row, _resolve_payload(payload), f, strategy, seed)
+def cell_key_of(cell: SweepCell, fingerprint=None) -> str:
+    """Content-addressed store key for ``cell``.
+
+    The adversary descriptor is derived exactly as :func:`_cell_records`
+    constructs the adversary (registry strategy name + run seed), so the
+    key pins the full solver invocation.  ``fingerprint`` lets callers
+    that key many cells over one graph (the plan executor) hash the
+    payload once instead of once per cell.
+    """
+    return cell_key(
+        kind=cell.kind,
+        serial=cell.serial,
+        graph=_payload_fingerprint(cell.payload) if fingerprint is None else fingerprint,
+        adversary=Adversary(cell.strategy, seed=cell.seed).descriptor(),
+        f=cell.f,
+        seed=cell.seed,
+    )
 
 
-def _cell_scaling(job: Tuple) -> Dict:
-    """One scaling-sweep graph cell; module-level for pickling."""
-    serial, payload, strategy, seed, f = job
-    return _scaling_record(get_row(serial), _resolve_payload(payload), f, strategy, seed)
+def _cell_records(cell: SweepCell) -> List[Dict]:
+    """Run one cell; module-level for pickling.  Always returns the
+    cell's record *list* (single-record kinds wrap theirs)."""
+    row = get_row(cell.serial)
+    graph = _resolve_payload(cell.payload)
+    if cell.kind == "table1":
+        return run_table1_row(row, graph, [cell.strategy], seed=cell.seed, f=cell.f)
+    if cell.kind == "tolerance":
+        return [_tolerance_record(row, graph, cell.f, cell.strategy, cell.seed)]
+    if cell.kind == "scaling":
+        return [_scaling_record(row, graph, cell.f, cell.strategy, cell.seed)]
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+def _cells_chunk(cells: List[SweepCell]) -> List[List[Dict]]:
+    """Run one submission chunk in a worker; module-level for pickling."""
+    return [_cell_records(cell) for cell in cells]
+
+
+def _wire_cell(cell: SweepCell) -> SweepCell:
+    """The cell as shipped to a worker: generator graphs go as specs
+    (per-worker memo), except scaling cells, whose graphs each appear in
+    exactly one cell (the memo cannot hit; CSR unpickling is cheaper
+    than re-running a random family's sampling loop)."""
+    if cell.kind != "scaling" and isinstance(cell.payload, PortLabeledGraph):
+        payload = _graph_payload(cell.payload)
+        if payload is not cell.payload:
+            return replace(cell, payload=payload)
+    return cell
+
+
+def execute_plan(
+    cells: Sequence[SweepCell],
+    workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    chunk: int = DEFAULT_CHUNK,
+) -> List[List[Dict]]:
+    """Execute a sweep plan; returns one record list per cell, in order.
+
+    With a ``store``, cells already present are answered from disk
+    (``resume=True``) and every freshly computed cell is appended to the
+    store **as it completes** — after a crash, the next run picks up
+    from the last persisted cell.  ``workers > 1`` fans the pending
+    cells out over a process pool in submission chunks of ``chunk``;
+    chunks are persisted in *completion* order (``as_completed``, so a
+    slow first cell cannot hold finished work out of the store) while
+    the returned list is reassembled in submission order — record values
+    and order are deterministic regardless of scheduling.
+    """
+    results: List[Optional[List[Dict]]] = [None] * len(cells)
+    keys: List[Optional[str]] = [None] * len(cells)
+    pending: List[int] = []
+    #: payload id -> fingerprint: a rows x strategies grid shares one
+    #: graph, so hash its CSR/spec once, not once per cell.
+    fingerprints: Dict[int, object] = {}
+    for i, cell in enumerate(cells):
+        if store is not None:
+            fp = fingerprints.get(id(cell.payload))
+            if fp is None:
+                fp = _payload_fingerprint(cell.payload)
+                fingerprints[id(cell.payload)] = fp
+            keys[i] = cell_key_of(cell, fingerprint=fp)
+            if resume:
+                cached = store.get(keys[i])
+                if cached is not None:
+                    results[i] = cached
+                    continue
+        pending.append(i)
+
+    def _finish(i: int, recs: List[Dict]) -> None:
+        results[i] = recs
+        if store is not None:
+            store.put(keys[i], recs)
+
+    size = max(1, chunk)
+    groups = [pending[j:j + size] for j in range(0, len(pending), size)]
+    if workers and workers > 1 and len(groups) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(groups))) as pool:
+            futures = {
+                pool.submit(_cells_chunk, [_wire_cell(cells[i]) for i in group]): group
+                for group in groups
+            }
+            for fut in as_completed(futures):
+                for i, recs in zip(futures[fut], fut.result()):
+                    _finish(i, recs)
+    else:
+        for i in pending:
+            _finish(i, _cell_records(cells[i]))
+    return results
 
 
 def _scaling_record(
@@ -215,26 +347,28 @@ def run_table1(
     seed: int = 0,
     serials: Optional[Sequence[int]] = None,
     workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    chunk: int = DEFAULT_CHUNK,
 ) -> List[Dict]:
     """Reproduce every applicable Table 1 row on one graph.
 
     ``workers > 1`` fans the (row × strategy) cells out over processes;
-    record order and values match the serial run exactly.
+    a ``store`` makes the sweep resumable (see :func:`execute_plan`).
+    Record order and values match a serial, store-less run exactly.
     """
     rows = [
         row
         for row in TABLE1
         if (serials is None or row.serial in serials) and row_applicable(row, graph)
     ]
-    parallel = bool(workers) and workers > 1 and len(rows) * len(strategies) > 1
-    payload = _graph_payload(graph) if parallel else graph
-    jobs = [
-        (row.serial, payload, strat, seed, None)
+    cells = [
+        SweepCell("table1", row.serial, graph, strat, seed, None)
         for row in rows
         for strat in strategies
     ]
-    cells = _map_cells(_cell_table1, jobs, workers)
-    return [rec for cell in cells for rec in cell]
+    lists = execute_plan(cells, workers=workers, store=store, resume=resume, chunk=chunk)
+    return [rec for recs in lists for rec in recs]
 
 
 def tolerance_sweep(
@@ -244,16 +378,21 @@ def tolerance_sweep(
     strategy: str,
     seed: int = 0,
     workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    chunk: int = DEFAULT_CHUNK,
 ) -> List[Dict]:
     """Success vs ``f`` for one algorithm (at, below, and — where the
     driver allows — beyond its bound; out-of-range values are recorded as
     ``rejected`` instead of run)."""
     serial = _registry_serial(row)
-    if serial is not None and workers and workers > 1 and len(f_values) > 1:
-        payload = _graph_payload(graph)
-        jobs = [(serial, payload, f, strategy, seed) for f in f_values]
-        return _map_cells(_cell_tolerance, jobs, workers)
-    return [_tolerance_record(row, graph, f, strategy, seed) for f in f_values]
+    if serial is None:
+        # Hand-built row: lambdas do not pickle and the registry cannot
+        # re-resolve it, so it can be neither parallelised nor cached.
+        return [_tolerance_record(row, graph, f, strategy, seed) for f in f_values]
+    cells = [SweepCell("tolerance", serial, graph, strategy, seed, f) for f in f_values]
+    lists = execute_plan(cells, workers=workers, store=store, resume=resume, chunk=chunk)
+    return [recs[0] for recs in lists]
 
 
 def scaling_sweep(
@@ -263,22 +402,23 @@ def scaling_sweep(
     seed: int = 0,
     f_fraction_of_max: float = 1.0,
     workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    chunk: int = DEFAULT_CHUNK,
 ) -> List[Dict]:
     """Measured rounds vs ``n`` across a graph family, at a fixed fraction
     of the row's tolerance (for power-law fitting against the bound)."""
     applicable = [g for g in graphs if row_applicable(row, g)]
     fs = [int(row.f_max(g) * f_fraction_of_max) for g in applicable]
     serial = _registry_serial(row)
-    if serial is not None and workers and workers > 1:
-        # Each graph appears in exactly one cell here, so the per-worker
-        # spec memo can never hit — and re-running a random family's
-        # sampling retry loop in the worker costs more than unpickling
-        # the CSR bytes.  Ship the graphs themselves.
-        jobs = [
-            (serial, g, strategy, seed, f) for g, f in zip(applicable, fs)
-        ]
-        return _map_cells(_cell_scaling, jobs, workers)
-    return [_scaling_record(row, g, f, strategy, seed) for g, f in zip(applicable, fs)]
+    if serial is None:
+        return [_scaling_record(row, g, f, strategy, seed) for g, f in zip(applicable, fs)]
+    cells = [
+        SweepCell("scaling", serial, g, strategy, seed, f)
+        for g, f in zip(applicable, fs)
+    ]
+    lists = execute_plan(cells, workers=workers, store=store, resume=resume, chunk=chunk)
+    return [recs[0] for recs in lists]
 
 
 def strategy_matrix(
@@ -287,23 +427,22 @@ def strategy_matrix(
     strategies: Sequence[str],
     seed: int = 0,
     workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    chunk: int = DEFAULT_CHUNK,
 ) -> List[Dict]:
     """Algorithms × strategies grid at each row's tolerance bound."""
     applicable = [row for row in rows if row_applicable(row, graph)]
-    if (
-        workers
-        and workers > 1
-        and len(applicable) * len(strategies) > 1
-        and all(_registry_serial(row) is not None for row in applicable)
-    ):
-        payload = _graph_payload(graph)
-        jobs = [
-            (row.serial, payload, strat, seed, None)
+    if all(_registry_serial(row) is not None for row in applicable):
+        cells = [
+            SweepCell("table1", row.serial, graph, strat, seed, None)
             for row in applicable
             for strat in strategies
         ]
-        cells = _map_cells(_cell_table1, jobs, workers)
-        return [rec for cell in cells for rec in cell]
+        lists = execute_plan(
+            cells, workers=workers, store=store, resume=resume, chunk=chunk
+        )
+        return [rec for recs in lists for rec in recs]
     records: List[Dict] = []
     for row in applicable:
         records.extend(run_table1_row(row, graph, strategies, seed=seed))

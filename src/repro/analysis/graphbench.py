@@ -36,6 +36,7 @@ import numpy as np
 from ..graphs import generators as gen
 from ..graphs.port_labeled import PortLabeledGraph
 from ..graphs.specs import clear_spec_cache, resolve_spec, spec_of
+from .store import SCHEMA_VERSION as STORE_SCHEMA_VERSION
 from .tables import render_table
 
 __all__ = [
@@ -415,6 +416,7 @@ def run_graph_benchmark(
     total_ref = sum(r["reference_s"] for r in results)
     return {
         "benchmark": "graphs",
+        "store_schema_version": STORE_SCHEMA_VERSION,
         "params": {"seed": seed, "repeats": repeats, "cells": cells},
         "env": {
             "python": platform.python_version(),

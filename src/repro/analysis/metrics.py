@@ -32,15 +32,29 @@ def record_from_report(report: RunReport, **config) -> Dict:
 
 
 def success_rate(records: Iterable[Dict]) -> float:
-    """Fraction of records with ``success=True`` (1.0 for empty input)."""
+    """Fraction of records with ``success=True``.
+
+    Empty input returns ``nan``, not 1.0: a sweep in which **no row was
+    applicable** has no evidence of success, and reporting it as perfect
+    silently masked filtered-out-everything bugs in aggregation.
+    Callers that want "vacuously fine" must say so explicitly.
+    """
     records = list(records)
     if not records:
-        return 1.0
+        return float("nan")
     return sum(1 for r in records if r.get("success")) / len(records)
 
 
 def summarize(records: List[Dict], group_by: str) -> List[Dict]:
-    """Group records by a key; report success rate and round statistics."""
+    """Group records by a key; report success rate and round statistics.
+
+    An empty record list summarises to an empty list (explicitly —
+    never a vacuous all-success row; see :func:`success_rate`).  Groups
+    are always non-empty by construction, so per-group rates are never
+    ``nan``.
+    """
+    if not records:
+        return []
     groups: Dict = {}
     for r in records:
         groups.setdefault(r.get(group_by), []).append(r)

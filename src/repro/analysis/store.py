@@ -1,0 +1,280 @@
+"""Content-addressed run store: resumable, crash-tolerant sweep caching.
+
+A :class:`RunStore` is an on-disk cache of sweep *cell* results.  Each
+cell — one ``(row serial, graph, adversary, f, seed)`` solver invocation
+— is keyed by :func:`cell_key`, a SHA-256 over the canonical JSON of its
+configuration **plus the record-schema version**, and maps to the list
+of records the cell produced.  The executor in
+:mod:`repro.analysis.experiments` streams completed cells into the store
+as they finish and, on a re-run, skips every cell whose key is already
+present — so an interrupted ``run_table1`` over a big grid resumes where
+it died instead of recomputing, and a warm store answers the whole sweep
+with zero solver calls.
+
+Layout
+------
+A store is a directory::
+
+    <path>/meta.json        {"format": "repro-run-store", "schema_version": N}
+    <path>/shard-ab.jsonl   one JSON line per completed cell
+
+Shards are named by the first two hex digits of the cell key (up to 256
+shards), which keeps any one file small and append cheap.  Each line is
+``{"key": ..., "sha": ..., "records": [...]}`` where ``sha`` is a
+digest of the canonical records JSON.
+
+Durability
+----------
+Appends are atomic at the line level: a line is written with a single
+buffered write, flushed, and fsynced before :meth:`RunStore.put`
+returns.  Loading tolerates torn or corrupt lines (a crash mid-append, a
+truncated copy): any line that fails to parse — or whose ``sha`` does
+not match its records at read time — is silently treated as absent, so
+the worst a crash can cost is the one cell that was being appended.
+
+The intended regime is **one writer per store at a time** (any number of
+readers).  Concurrent writers cannot corrupt each other — appends are
+line-atomic and every read is digest-checked — but each handle indexes
+its own appends by the offset it observed, so interleaved writers can
+invalidate one another's in-memory entries and trigger redundant
+recomputes (a later open sees everything both wrote).
+
+Invalidation
+------------
+The record-schema version is folded into every key, so bumping
+:data:`SCHEMA_VERSION` (because record contents changed meaning) orphans
+all old entries rather than serving stale shapes; the store file format
+itself never needs migrating.  ``meta.json`` records the creating
+version for external tooling (``benchmarks/check_regression.py`` refuses
+to ``--update`` a baseline across a schema change).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["SCHEMA_VERSION", "RunStore", "cell_key"]
+
+#: Version of the *record* schema (the dict shape produced by
+#: :mod:`repro.analysis.metrics`).  Bump when record contents change
+#: meaning; every cached entry keyed under the old version then misses.
+SCHEMA_VERSION = 1
+
+_META_NAME = "meta.json"
+_SHARD_PREFIX = "shard-"
+
+
+def _canonical_json(value) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _records_sha(records: List[Dict]) -> str:
+    """Integrity digest of a cell's record list."""
+    return hashlib.sha256(_canonical_json(records).encode("utf-8")).hexdigest()
+
+
+def cell_key(
+    kind: str,
+    serial: int,
+    graph,
+    adversary,
+    f: Optional[int],
+    seed: int,
+    schema_version: int = SCHEMA_VERSION,
+) -> str:
+    """Canonical content hash identifying one sweep cell.
+
+    ``graph`` is a JSON-safe graph fingerprint (canonical
+    :class:`~repro.graphs.specs.GraphSpec` form, or a CSR content hash
+    for hand-built graphs) and ``adversary`` a canonical adversary
+    descriptor (:meth:`~repro.byzantine.adversary.Adversary.descriptor`).
+    Two cells collide exactly when they would run the identical solver
+    invocation under the identical record schema.
+    """
+    payload = _canonical_json(
+        {
+            "kind": kind,
+            "serial": serial,
+            "graph": graph,
+            "adversary": adversary,
+            "f": f,
+            "seed": seed,
+            "schema": schema_version,
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class RunStore:
+    """Append-only, content-addressed store of sweep-cell records.
+
+    Opening a store scans its shards once to build an in-memory
+    ``key -> (shard, offset, length)`` index; record payloads stay on
+    disk until :meth:`get` fetches them, so a store indexing millions of
+    cells does not hold millions of records in memory.
+
+    ``hits``/``misses``/``puts`` count this handle's traffic (reported
+    by ``repro sweep``).
+    """
+
+    def __init__(self, path: str, schema_version: int = SCHEMA_VERSION):
+        self.path = str(path)
+        self.schema_version = schema_version
+        try:
+            os.makedirs(self.path, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot use {self.path!r} as a run store: {exc}"
+            )
+        self._init_meta()
+        #: key -> (shard path, byte offset, byte length); later lines win.
+        self._index: Dict[str, Tuple[str, int, int]] = {}
+        #: shards whose last line lacks a trailing newline (torn append):
+        #: the next put must start on a fresh line or it would merge into
+        #: the garbage and be skipped by every later load.
+        self._torn_shards: set = set()
+        self._load_index()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ----------------------------------------------------------------- #
+    # Metadata
+    # ----------------------------------------------------------------- #
+
+    def _init_meta(self) -> None:
+        meta_path = os.path.join(self.path, _META_NAME)
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as fh:
+                    meta = json.load(fh)
+            except (ValueError, OSError) as exc:
+                raise ConfigurationError(
+                    f"{meta_path} is not a run-store meta file: {exc}"
+                )
+            if meta.get("format") != "repro-run-store":
+                raise ConfigurationError(
+                    f"{self.path} exists but is not a run store"
+                )
+            #: schema version the store was created under; entries of
+            #: other versions simply never hit (version is in the key).
+            self.created_schema_version = meta.get("schema_version")
+            return
+        self.created_schema_version = self.schema_version
+        tmp = meta_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"format": "repro-run-store", "schema_version": self.schema_version},
+                fh,
+            )
+            fh.write("\n")
+        os.replace(tmp, meta_path)
+
+    # ----------------------------------------------------------------- #
+    # Index / shards
+    # ----------------------------------------------------------------- #
+
+    def _shard_path(self, key: str) -> str:
+        return os.path.join(self.path, f"{_SHARD_PREFIX}{key[:2]}.jsonl")
+
+    def _shard_files(self) -> List[str]:
+        return sorted(
+            os.path.join(self.path, name)
+            for name in os.listdir(self.path)
+            if name.startswith(_SHARD_PREFIX) and name.endswith(".jsonl")
+        )
+
+    def _load_index(self) -> None:
+        for shard in self._shard_files():
+            offset = 0
+            raw = b""
+            with open(shard, "rb") as fh:
+                for raw in fh:
+                    length = len(raw)
+                    start = offset
+                    offset += length
+                    try:
+                        obj = json.loads(raw.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        continue  # torn append / corrupt line
+                    if not isinstance(obj, dict) or "key" not in obj:
+                        continue
+                    self._index[obj["key"]] = (shard, start, length)
+            if raw and not raw.endswith(b"\n"):
+                self._torn_shards.add(shard)
+
+    # ----------------------------------------------------------------- #
+    # Read / write
+    # ----------------------------------------------------------------- #
+
+    def get(self, key: str) -> Optional[List[Dict]]:
+        """The records cached for ``key``, or ``None``.
+
+        Integrity is checked at read time: an entry whose digest no
+        longer matches its records is dropped from the index and treated
+        as a miss (the executor recomputes and re-appends it).
+        """
+        loc = self._index.get(key)
+        if loc is None:
+            self.misses += 1
+            return None
+        shard, offset, length = loc
+        try:
+            with open(shard, "rb") as fh:
+                fh.seek(offset)
+                raw = fh.read(length)
+            obj = json.loads(raw.decode("utf-8"))
+            records = obj["records"]
+            if obj.get("key") != key or obj.get("sha") != _records_sha(records):
+                raise ValueError("integrity check failed")
+        except (OSError, ValueError, KeyError, TypeError, UnicodeDecodeError):
+            del self._index[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return records
+
+    def put(self, key: str, records: List[Dict]) -> None:
+        """Append one cell's records; atomic at line granularity."""
+        line = json.dumps(
+            {"key": key, "sha": _records_sha(records), "records": records},
+            separators=(",", ":"),
+        )
+        data = (line + "\n").encode("utf-8")
+        shard = self._shard_path(key)
+        # A shard ending in a torn line must be terminated first, or this
+        # append would merge into the garbage and vanish on reload.
+        prefix = b"\n" if shard in self._torn_shards else b""
+        with open(shard, "ab") as fh:
+            offset = fh.tell() + len(prefix)
+            fh.write(prefix + data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._torn_shards.discard(shard)
+        self._index[key] = (shard, offset, len(data))
+        self.puts += 1
+
+    # ----------------------------------------------------------------- #
+    # Introspection
+    # ----------------------------------------------------------------- #
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunStore({self.path!r}, entries={len(self._index)}, "
+            f"schema_version={self.schema_version})"
+        )

@@ -146,12 +146,10 @@ def solve_dfs_baseline(
     k = k if k is not None else n
     cap = cap if cap is not None else -(-k // n)  # ceil
     ids = assign_ids(k, n_nodes=n)
-    if byz_ids is None:
-        from ..byzantine.adversary import choose_byzantine_ids
-
-        byz_ids = choose_byzantine_ids(ids, f, placement=byz_placement, seed=seed)
-    byz = set(byz_ids)
     adversary = adversary if adversary is not None else Adversary(seed=seed)
+    if byz_ids is None:
+        byz_ids = adversary.choose_ids(ids, f, placement=byz_placement)
+    byz = set(byz_ids)
     world = World(graph, model="weak", keep_trace=keep_trace)
     for rid in ids:
         if rid in byz:

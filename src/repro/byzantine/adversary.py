@@ -24,7 +24,7 @@ def choose_byzantine_ids(
     ids: Sequence[int],
     f: int,
     placement: str = "lowest",
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
 ) -> List[int]:
     """Select which ``f`` of ``ids`` the adversary corrupts.
 
@@ -32,6 +32,11 @@ def choose_byzantine_ids(
     for Dispersion-Using-Map because small IDs win Step 1 minimality and
     act in the earliest sub-rounds.  ``highest`` and ``random`` cover the
     other regimes.
+
+    ``random`` placement is a deterministic function of ``seed``
+    (``None`` is pinned to seed 0, never OS entropy): experiment records
+    must be reproducible and content-addressable, so an unseeded call
+    may not silently produce a fresh corruption set per run.
     """
     if not (0 <= f <= len(ids)):
         raise ConfigurationError(f"f={f} out of range for {len(ids)} robots")
@@ -41,7 +46,7 @@ def choose_byzantine_ids(
     if placement == "highest":
         return ordered[-f:] if f else []
     if placement == "random":
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(0 if seed is None else seed)
         return sorted(int(x) for x in rng.choice(ordered, size=f, replace=False))
     raise ConfigurationError(f"unknown placement {placement!r}")
 
@@ -67,6 +72,11 @@ class Adversary:
         self._strategy = strategy
         self._seed = seed
 
+    @property
+    def seed(self) -> int:
+        """The adversary's RNG seed (also drives Byzantine placement)."""
+        return self._seed
+
     def describe(self) -> str:
         """Human-readable strategy summary (for reports and benchmarks)."""
         if isinstance(self._strategy, str):
@@ -77,6 +87,34 @@ class Adversary:
             )
             return "{" + ",".join(parts) + "}"
         return getattr(self._strategy, "__name__", repr(self._strategy))
+
+    def descriptor(self) -> list:
+        """Canonical JSON-safe descriptor for content-addressed cache keys.
+
+        Registry-name and per-robot-name assignments canonicalise
+        structurally; bare callables fall back to their qualified name
+        (two different callables sharing a name would alias — sweeps
+        only ever use registry names, where the form is exact).
+        """
+        s = self._strategy
+        if isinstance(s, str):
+            strat = s
+        elif isinstance(s, dict):
+            strat = [
+                [int(rid), v if isinstance(v, str) else getattr(v, "__qualname__", repr(v))]
+                for rid, v in sorted(s.items())
+            ]
+        else:
+            strat = "callable:" + getattr(s, "__qualname__", repr(s))
+        return ["adversary", strat, self._seed]
+
+    def choose_ids(
+        self, ids: Sequence[int], f: int, placement: str = "lowest"
+    ) -> List[int]:
+        """Pick the corrupted IDs, threading THIS adversary's seed into
+        the placement RNG so ``random`` placement is reproducible from
+        the adversary alone (and cacheable by :meth:`descriptor`)."""
+        return choose_byzantine_ids(ids, f, placement=placement, seed=self._seed)
 
     def _resolve(self, true_id: int) -> Strategy:
         s = self._strategy

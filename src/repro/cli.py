@@ -5,6 +5,7 @@ Commands
 ``table1``       regenerate the paper's Table 1 on a random graph
 ``run``          run one Table 1 row with explicit parameters
 ``tolerance``    sweep f for one row
+``sweep``        resumable Table 1 grid backed by an on-disk run store
 ``impossible``   run the Theorem 8 construction
 ``strategies``   list the adversary zoo
 ``bench``        microbenchmarks: engine and/or graph substrate
@@ -12,16 +13,19 @@ Commands
 
 Sweep commands accept ``--workers N`` to fan independent cells out over
 ``N`` processes; records are identical to (and ordered like) a serial
-run.
+run.  ``sweep`` additionally takes ``--store DIR`` (content-addressed
+cell cache), ``--resume/--no-resume`` and ``--chunk`` — a re-run against
+a warm store answers entirely from disk with zero solver calls.
 
 Examples::
 
     python -m repro table1 --n 10 --strategy ghost_squatter --workers 4
     python -m repro run --row 4 --n 9 --f 3 --strategy squatter
     python -m repro tolerance --row 5 --n 9
+    python -m repro sweep --n 9 --strategies squatter,idle --store runs/ --workers 4
     python -m repro impossible --n 6 --k 12 --f 6
-    python -m repro bench --out BENCH_engine.json
-    python -m repro bench --suite graphs --graphs-out BENCH_graphs.json
+    python -m repro bench --out benchmarks/BENCH_engine.json
+    python -m repro bench --suite graphs
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import (
@@ -38,6 +43,7 @@ from .analysis import (
     run_table1,
     tolerance_sweep,
 )
+from .analysis.store import RunStore
 from .analysis.benchmark import format_report, write_bench_json
 from .analysis.graphbench import format_graph_report
 from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
@@ -45,6 +51,20 @@ from .core import demonstrate_impossibility, get_row
 from .graphs import is_quotient_isomorphic, random_connected
 
 __all__ = ["main"]
+
+
+#: The repo's checked-in benchmark baselines (what
+#: ``benchmarks/check_regression.py`` gates).  ``repro bench`` defaults
+#: its outputs here so a bare run from any CWD refreshes the guarded
+#: files instead of silently dropping JSON next to wherever you stood.
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _default_bench_path(name: str) -> str:
+    """Default output path for a benchmark artifact: the checked-in
+    baseline when this is a repo checkout, the bare name otherwise
+    (installed package with no benchmarks/ directory)."""
+    return str(_BENCH_DIR / name) if _BENCH_DIR.is_dir() else name
 
 
 def _sample_graph(n: int, require_view_distinct: bool, seed: int):
@@ -111,6 +131,55 @@ def _cmd_tolerance(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    strategies = [s for s in (p.strip() for p in args.strategies.split(",")) if s]
+    unknown = sorted(set(strategies) - set(STRATEGIES))
+    if not strategies or unknown:
+        raise SystemExit(
+            f"unknown strategies: {', '.join(unknown) or '(none given)'} "
+            f"(choose from: {', '.join(sorted(STRATEGIES))})"
+        )
+    serials = (
+        [int(s) for s in args.serials.split(",") if s.strip()]
+        if args.serials else None
+    )
+    graph = _sample_graph(args.n, require_view_distinct=True, seed=args.seed)
+    store = RunStore(args.store) if args.store else None
+    records = run_table1(
+        graph,
+        strategies=strategies,
+        seed=args.seed,
+        serials=serials,
+        workers=args.workers,
+        store=store,
+        resume=args.resume,
+        chunk=args.chunk,
+    )
+    if not records:
+        print(
+            f"no applicable (row x strategy) cells for n={graph.n}, "
+            f"serials={args.serials or 'all'} — nothing ran"
+        )
+        return 1
+    print(
+        render_table(
+            records,
+            columns=[
+                "serial", "theorem", "strategy", "f", "success",
+                "rounds_simulated", "rounds_charged", "paper_bound",
+            ],
+            title=f"Sweep (n={graph.n}, m={graph.m}, "
+                  f"strategies={','.join(strategies)})",
+        )
+    )
+    if store is not None:
+        print(
+            f"store {store.path}: {store.hits} cell(s) answered from cache, "
+            f"{store.puts} computed, {len(store)} total entries"
+        )
+    return 0 if all(r["success"] for r in records) else 1
+
+
 def _cmd_impossible(args) -> int:
     graph = _sample_graph(args.n, require_view_distinct=False, seed=args.seed)
     rep = demonstrate_impossibility(graph, k=args.k, f=args.f, seed=args.seed)
@@ -129,6 +198,25 @@ def _cmd_strategies(args) -> int:
     return 0
 
 
+def _warn_if_baseline_params_drift(path: str, payload: dict) -> None:
+    """Flag an overwrite of an existing bench file whose recorded params
+    differ: the regression gate re-runs with the *baseline's* params, so
+    clobbering it with an exploratory run corrupts the gate.  Guarded
+    refreshes belong to ``benchmarks/check_regression.py --update``."""
+    try:
+        with open(path) as fh:
+            existing = json.load(fh)
+    except (OSError, ValueError):
+        return
+    if existing.get("params") not in (None, payload["params"]):
+        print(
+            f"warning: {path} was recorded with params {existing['params']}; "
+            f"overwriting with params {payload['params']} changes what the "
+            f"regression gate measures (use benchmarks/check_regression.py "
+            f"--update for guarded refreshes, or pass --out elsewhere)"
+        )
+
+
 def _cmd_bench(args) -> int:
     ok = True
     if args.suite in ("engine", "all"):
@@ -138,6 +226,7 @@ def _cmd_bench(args) -> int:
         )
         print(format_report(payload))
         if args.out:
+            _warn_if_baseline_params_drift(args.out, payload)
             write_bench_json(payload, args.out)
             print(f"wrote {args.out}")
         if args.json:
@@ -149,6 +238,7 @@ def _cmd_bench(args) -> int:
         )
         print(format_graph_report(payload))
         if args.graphs_out:
+            _warn_if_baseline_params_drift(args.graphs_out, payload)
             write_bench_json(payload, args.graphs_out)
             print(f"wrote {args.graphs_out}")
         if args.json:
@@ -190,6 +280,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="processes for the sweep (default: serial)")
     tol.set_defaults(func=_cmd_tolerance)
 
+    sw = sub.add_parser(
+        "sweep", help="resumable Table 1 grid backed by an on-disk run store"
+    )
+    sw.add_argument("--n", type=int, default=9)
+    sw.add_argument("--strategies", default="ghost_squatter",
+                    help="comma-separated adversary strategies")
+    sw.add_argument("--serials", default=None,
+                    help="comma-separated Table 1 serials (default: all applicable)")
+    sw.add_argument("--seed", type=int, default=0)
+    sw.add_argument("--store", default=None,
+                    help="run-store directory (created if missing; omit to disable caching)")
+    sw.add_argument("--resume", action="store_true", default=True,
+                    help="answer cells already in the store from disk (default)")
+    sw.add_argument("--no-resume", dest="resume", action="store_false",
+                    help="recompute every cell (results still appended to the store)")
+    sw.add_argument("--workers", type=int, default=None,
+                    help="processes for the sweep (default: serial)")
+    sw.add_argument("--chunk", type=int, default=1,
+                    help="cells per worker dispatch chunk (default: 1)")
+    sw.set_defaults(func=_cmd_sweep)
+
     imp = sub.add_parser("impossible", help="run the Theorem 8 construction")
     imp.add_argument("--n", type=int, default=6)
     imp.add_argument("--k", type=int, default=12)
@@ -213,10 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     be.add_argument("--cells", type=int, default=24,
                     help="sweep cells in the dispatch scenario (graphs suite)")
-    be.add_argument("--out", default="BENCH_engine.json",
-                    help="engine JSON output path ('' to skip writing)")
-    be.add_argument("--graphs-out", default="BENCH_graphs.json",
-                    help="graphs JSON output path ('' to skip writing)")
+    be.add_argument("--out", default=_default_bench_path("BENCH_engine.json"),
+                    help="engine JSON output path ('' to skip writing; "
+                         "default: the checked-in benchmarks/ baseline)")
+    be.add_argument("--graphs-out", default=_default_bench_path("BENCH_graphs.json"),
+                    help="graphs JSON output path ('' to skip writing; "
+                         "default: the checked-in benchmarks/ baseline)")
     be.add_argument("--json", action="store_true", help="also print the JSON payload")
     be.set_defaults(func=_cmd_bench)
     return p

@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..byzantine.adversary import Adversary, choose_byzantine_ids
+from ..byzantine.adversary import Adversary
 from ..errors import ConfigurationError
 from ..graphs.port_labeled import PortLabeledGraph
 from ..sim.ids import assign_ids, validate_ids
@@ -107,11 +107,16 @@ def build_population(
     k = n_robots if n_robots is not None else graph.n
     ids = assign_ids(k, n_nodes=graph.n, seed=id_seed)
     validate_ids(ids, graph.n)
-    byz_ids = choose_byzantine_ids(ids, f, placement=byz_placement, seed=seed)
+    # The placement RNG is the adversary's: who gets corrupted is the
+    # adversary's choice, so Adversary(seed=...) alone pins it (sweeps
+    # pass adversaries seeded with the run seed, which keeps their
+    # records unchanged).
+    adversary = adversary if adversary is not None else Adversary(seed=seed)
+    byz_ids = adversary.choose_ids(ids, f, placement=byz_placement)
     placement = make_placement(graph, ids, start, seed=seed)
     return Population(
         ids=ids,
         byz_ids=byz_ids,
         placement=placement,
-        adversary=adversary if adversary is not None else Adversary(seed=seed),
+        adversary=adversary,
     )

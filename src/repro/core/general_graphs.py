@@ -237,7 +237,14 @@ def solve_theorem2(
     gather = canonical_gather_node(graph)
     # Honest IDs under the default compact assignment with the f lowest
     # corrupted: the remaining ones.  The charge needs |Λgood| over them.
-    pop_preview = build_population(graph, f, start=gather, byz_placement=byz_placement, seed=seed)
+    # Pass the adversary through: placement is derived from the
+    # adversary's seed, so the preview must resolve the same one the
+    # solver's population will, or the charged |Λgood| drifts from the
+    # actually-honest IDs.
+    pop_preview = build_population(
+        graph, f, start=gather, adversary=adversary,
+        byz_placement=byz_placement, seed=seed,
+    )
     charge = weak_gathering_rounds(graph, pop_preview.honest_ids)
     return _pairing_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,
@@ -290,7 +297,10 @@ def solve_theorem5(
     limit = min(int(math.isqrt(graph.n)), (group + 1) // 2 - 1)
     _check_common(graph, f, limit, "Theorem 5 (f = O(sqrt n) with half-group majorities)")
     gather = canonical_gather_node(graph)
-    pop_preview = build_population(graph, f, start=gather, byz_placement=byz_placement, seed=seed)
+    pop_preview = build_population(
+        graph, f, start=gather, adversary=adversary,
+        byz_placement=byz_placement, seed=seed,
+    )
     charge = hirose_gathering_rounds(graph, pop_preview.ids, f)
     return _group_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,

@@ -19,7 +19,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from ..byzantine.adversary import Adversary, choose_byzantine_ids
+from ..byzantine.adversary import Adversary
 from ..errors import ConfigurationError
 from ..graphs.port_labeled import PortLabeledGraph
 from ..graphs.quotient import is_quotient_isomorphic
@@ -66,9 +66,9 @@ def solve_k_robots(
         )
     ids = assign_ids(k, n_nodes=n)
     validate_ids(ids, n)
-    byz = set(choose_byzantine_ids(ids, f, placement=byz_placement, seed=seed))
-    placement = make_placement(graph, ids, start, seed=seed)
     adversary = adversary if adversary is not None else Adversary(seed=seed)
+    byz = set(adversary.choose_ids(ids, f, placement=byz_placement))
+    placement = make_placement(graph, ids, start, seed=seed)
 
     world = World(graph, model="weak", keep_trace=keep_trace)
     world.charge("find_map", find_map_rounds(n, graph.m))

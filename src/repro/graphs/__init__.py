@@ -36,7 +36,14 @@ from .isomorphism import (
 )
 from .port_labeled import PortLabeledGraph
 from .quotient import QuotientGraph, is_quotient_isomorphic, quotient_graph
-from .specs import GraphSpec, clear_spec_cache, resolve_spec, spec_of
+from .specs import (
+    GraphSpec,
+    canonical_spec,
+    clear_spec_cache,
+    graph_fingerprint,
+    resolve_spec,
+    spec_of,
+)
 from .traversal import TourStep, bfs_order, euler_tour, navigate, path_nodes
 from .views import truncated_view, view_partition, view_signature
 
@@ -44,6 +51,8 @@ __all__ = [
     "PortLabeledGraph",
     "GraphSpec",
     "spec_of",
+    "canonical_spec",
+    "graph_fingerprint",
     "resolve_spec",
     "clear_spec_cache",
     "QuotientGraph",

@@ -23,13 +23,22 @@ itself (cheap now too: CSR-bytes ``__reduce__``).
 from __future__ import annotations
 
 import functools
+import hashlib
 import inspect
 from typing import Callable, Dict, NamedTuple, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .port_labeled import PortLabeledGraph
 
-__all__ = ["GraphSpec", "spec_of", "resolve_spec", "clear_spec_cache", "register_family"]
+__all__ = [
+    "GraphSpec",
+    "spec_of",
+    "resolve_spec",
+    "clear_spec_cache",
+    "register_family",
+    "canonical_spec",
+    "graph_fingerprint",
+]
 
 
 class GraphSpec(NamedTuple):
@@ -100,3 +109,52 @@ def resolve_spec(spec: GraphSpec) -> PortLabeledGraph:
 def clear_spec_cache() -> None:
     """Drop the per-process memo (tests; long-lived servers with churn)."""
     _CACHE.clear()
+
+
+# --------------------------------------------------------------------- #
+# Canonical forms (content-addressed cache keys)
+# --------------------------------------------------------------------- #
+
+def _canonical_value(value):
+    """JSON-safe canonical form of one spec argument value.
+
+    Dict keys keep their type via ``repr`` (``1`` vs ``"1"`` must not
+    alias to the same content address).
+    """
+    if isinstance(value, (tuple, list)):
+        return [_canonical_value(v) for v in value]
+    if isinstance(value, dict):
+        return [
+            [repr(k), _canonical_value(v)]
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        ]
+    return value
+
+
+def canonical_spec(spec: GraphSpec):
+    """JSON-safe canonical form of ``spec`` for content-addressed keys.
+
+    Argument order is the generator's signature order (fixed in code),
+    and defaults were applied when the spec was bound, so two calls that
+    build the same graph canonicalise identically regardless of how the
+    arguments were spelled.
+    """
+    return ["spec", spec.family, [[k, _canonical_value(v)] for k, v in spec.args]]
+
+
+def graph_fingerprint(graph: PortLabeledGraph):
+    """JSON-safe content fingerprint of a graph for cache keys.
+
+    Generator-built graphs fingerprint as their canonical spec — stable
+    across processes and machines.  Hand-built graphs (no spec) fall
+    back to a SHA-256 over their CSR arrays, so an identical hand-built
+    graph still hits the cache.
+    """
+    spec = spec_of(graph)
+    if spec is not None:
+        return canonical_spec(spec)
+    offsets, dest, in_port = graph.csr()
+    h = hashlib.sha256()
+    for arr in (offsets, dest, in_port):
+        h.update(arr.tobytes())
+    return ["csr", graph.n, h.hexdigest()]

@@ -73,7 +73,15 @@ class TestMetrics:
     def test_success_rate(self):
         recs = [{"success": True}, {"success": False}, {"success": True}]
         assert success_rate(recs) == pytest.approx(2 / 3)
-        assert success_rate([]) == 1.0
+
+    def test_success_rate_empty_is_nan(self):
+        """No applicable rows is *not* a perfect sweep: the old 1.0
+        return made summarize() report vacuous success."""
+        assert math.isnan(success_rate([]))
+        assert math.isnan(success_rate(iter([])))
+
+    def test_summarize_empty_guard(self):
+        assert summarize([], "strategy") == []
 
     def test_summarize_groups(self):
         recs = [

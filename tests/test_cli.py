@@ -1,4 +1,8 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (and its benchmark tooling)."""
+
+import importlib.util
+import json
+import pathlib
 
 import pytest
 
@@ -67,6 +71,47 @@ class TestCommands:
         assert "Table 1 reproduction" in out
 
 
+class TestSweep:
+    def test_sweep_end_to_end_in_tmpdir(self, capsys, tmp_path):
+        """`repro sweep` cold then warm: second run answers every cell
+        from the store and recomputes nothing."""
+        store = tmp_path / "runs"
+        argv = [
+            "sweep", "--n", "8", "--strategies", "squatter,idle",
+            "--serials", "4,5", "--store", str(store),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Sweep (n=8" in cold
+        assert "0 cell(s) answered from cache, 4 computed" in cold
+        assert (store / "meta.json").exists()
+        assert any(p.name.startswith("shard-") for p in store.iterdir())
+
+        assert main(argv + ["--workers", "2", "--chunk", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert "4 cell(s) answered from cache, 0 computed" in warm
+        # identical table rows either way
+        assert [l for l in cold.splitlines() if l.startswith(" ")] == \
+            [l for l in warm.splitlines() if l.startswith(" ")]
+
+    def test_sweep_without_store(self, capsys):
+        assert main(["sweep", "--n", "8", "--strategies", "squatter",
+                     "--serials", "5"]) == 0
+        assert "answered from cache" not in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n", "8", "--strategies", "teleporter"])
+
+    def test_sweep_with_no_applicable_cells_fails(self, capsys):
+        """A sweep in which nothing ran must not exit 0 with an empty
+        success-looking table (the vacuous-success bug class)."""
+        rc = main(["sweep", "--n", "8", "--strategies", "squatter",
+                   "--serials", "99"])
+        assert rc == 1
+        assert "nothing ran" in capsys.readouterr().out
+
+
 class TestBench:
     def test_bench_writes_json(self, capsys, tmp_path):
         import json
@@ -114,3 +159,97 @@ class TestBench:
             "construct_closed_form", "construct_seeded", "traverse",
             "port_lookup", "sweep_dispatch",
         }
+
+    def test_bench_warns_on_baseline_params_drift(self, capsys, tmp_path):
+        """Overwriting an existing bench file with different params must
+        be flagged: the regression gate re-runs the baseline's params."""
+        out_path = tmp_path / "BENCH_engine.json"
+        base_args = ["bench", "--k", "6", "--rounds", "10", "--repeats", "1",
+                     "--out", str(out_path)]
+        assert main(base_args + ["--n", "12"]) == 0
+        assert "warning:" not in capsys.readouterr().out
+        assert main(base_args + ["--n", "14"]) == 0
+        assert "changes what the regression gate measures" in capsys.readouterr().out
+
+    def test_bench_defaults_to_checked_in_baselines(self):
+        """A bare `repro bench` from any CWD must target the files
+        `benchmarks/check_regression.py` gates, not CWD-relative names
+        that silently leave the guarded baselines stale."""
+        args = build_parser().parse_args(["bench"])
+        repo_bench = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+        assert pathlib.Path(args.out) == repo_bench / "BENCH_engine.json"
+        assert pathlib.Path(args.graphs_out) == repo_bench / "BENCH_graphs.json"
+        assert args.out == str(pathlib.Path(args.out).absolute())
+
+
+def _load_regression_gate():
+    path = (
+        pathlib.Path(__file__).resolve().parents[1]
+        / "benchmarks" / "check_regression.py"
+    )
+    spec = importlib.util.spec_from_file_location("check_regression", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestRegressionGateSchemaGuard:
+    """`check_regression.py --update` must not cross a run-store schema
+    bump silently: the baseline would claim continuity with records whose
+    meaning changed."""
+
+    def _fabricate(self, tmp_path, baseline_version):
+        baseline = {
+            "benchmark": "engine",
+            "store_schema_version": baseline_version,
+            "params": {},
+            "scenarios": [],
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        fresh = {
+            "benchmark": "engine",
+            "store_schema_version": baseline_version + 1,
+            "params": {},
+            "scenarios": [],
+            "overall_speedup": 1.0,
+            "all_identical": True,
+        }
+        return path, fresh
+
+    def test_update_refuses_on_mismatch(self, tmp_path, capsys):
+        gate = _load_regression_gate()
+        path, fresh = self._fabricate(tmp_path, baseline_version=1)
+        failures = gate.check_suite(
+            "engine", str(path), lambda params: fresh, 2.0, update=True
+        )
+        assert failures == 1
+        assert "REFUSING --update" in capsys.readouterr().out
+        assert json.loads(path.read_text())["store_schema_version"] == 1  # untouched
+
+    def test_update_allows_with_explicit_flag(self, tmp_path):
+        gate = _load_regression_gate()
+        path, fresh = self._fabricate(tmp_path, baseline_version=1)
+        failures = gate.check_suite(
+            "engine", str(path), lambda params: fresh, 2.0, update=True,
+            allow_schema_change=True,
+        )
+        assert failures == 0
+        assert json.loads(path.read_text())["store_schema_version"] == 2
+
+    def test_update_matching_schema_proceeds(self, tmp_path):
+        gate = _load_regression_gate()
+        path, fresh = self._fabricate(tmp_path, baseline_version=1)
+        fresh["store_schema_version"] = 1
+        failures = gate.check_suite(
+            "engine", str(path), lambda params: fresh, 2.0, update=True
+        )
+        assert failures == 0
+
+    def test_checked_in_baselines_carry_current_version(self):
+        from repro.analysis.store import SCHEMA_VERSION
+
+        bench_dir = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+        for name in ("BENCH_engine.json", "BENCH_graphs.json"):
+            payload = json.loads((bench_dir / name).read_text())
+            assert payload["store_schema_version"] == SCHEMA_VERSION

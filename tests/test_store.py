@@ -1,0 +1,318 @@
+"""Run store + streaming plan executor: resume, integrity, zero-recompute.
+
+The contracts under test:
+
+* every sweep routed through :func:`execute_plan` produces records
+  byte-identical to the store-less serial implementation — serial,
+  ``workers>1``, and resumed-from-partial-store;
+* a second run against a warm store completes with **zero** solver
+  calls (pinned with raising stubs);
+* a sweep killed mid-run (bounded store writes) resumes from the last
+  persisted cell and ends byte-identical to an uninterrupted run;
+* store keys are canonical: graph-object and spec payloads, or two
+  equal hand-built graphs, key identically; any config or schema change
+  keys differently;
+* loading tolerates torn/corrupt shard lines and bad digests.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (
+    RunStore,
+    cell_key,
+    run_table1,
+    scaling_sweep,
+    strategy_matrix,
+    tolerance_sweep,
+)
+from repro.analysis import experiments
+from repro.analysis.experiments import SweepCell, cell_key_of, execute_plan
+from repro.analysis.store import SCHEMA_VERSION, _records_sha
+from repro.byzantine import Adversary
+from repro.core import get_row
+from repro.errors import ConfigurationError
+from repro.graphs import PortLabeledGraph, random_connected, spec_of
+
+
+@pytest.fixture(scope="module")
+def g():
+    return random_connected(8, seed=5)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+def _solver_ban(monkeypatch):
+    """Make every solver entry point raise: any call proves the sweep
+    did not run purely from the store."""
+
+    def boom(*args, **kwargs):
+        raise AssertionError("solver invoked despite warm store")
+
+    monkeypatch.setattr(experiments, "run_table1_row", boom)
+    monkeypatch.setattr(experiments, "_tolerance_record", boom)
+    monkeypatch.setattr(experiments, "_scaling_record", boom)
+
+
+class TestRunStore:
+    def test_put_get_roundtrip(self, store):
+        recs = [{"serial": 4, "success": True, "rounds_simulated": 12}]
+        store.put("ab" * 32, recs)
+        assert store.get("ab" * 32) == recs
+        assert ("ab" * 32) in store and len(store) == 1
+
+    def test_get_missing_counts_miss(self, store):
+        assert store.get("00" * 32) is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_persists_across_handles(self, tmp_path):
+        s1 = RunStore(tmp_path / "s")
+        s1.put("cd" * 32, [{"x": 1}])
+        s2 = RunStore(tmp_path / "s")
+        assert s2.get("cd" * 32) == [{"x": 1}]
+
+    def test_shard_layout(self, store):
+        key = "ef" + "0" * 62
+        store.put(key, [{"x": 1}])
+        assert os.path.exists(os.path.join(store.path, "shard-ef.jsonl"))
+        meta = json.load(open(os.path.join(store.path, "meta.json")))
+        assert meta == {"format": "repro-run-store", "schema_version": SCHEMA_VERSION}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        s = RunStore(tmp_path / "s")
+        key = "aa" + "0" * 62
+        s.put(key, [{"x": 1}])
+        shard = os.path.join(s.path, "shard-aa.jsonl")
+        with open(shard, "ab") as fh:
+            fh.write(b'{"key": "aa11", "sha": "tru')  # crash mid-append
+        s2 = RunStore(tmp_path / "s")
+        assert s2.get(key) == [{"x": 1}]
+        assert len(s2) == 1
+
+    def test_append_after_torn_line_survives_reload(self, tmp_path):
+        """Regression: a put landing after a crash's torn (newline-less)
+        trailing line must start a fresh line, not merge into the
+        garbage and vanish on the next load."""
+        s = RunStore(tmp_path / "s")
+        k1, k2 = "aa" + "0" * 62, "aa" + "1" * 62  # same shard
+        s.put(k1, [{"x": 1}])
+        with open(os.path.join(s.path, "shard-aa.jsonl"), "ab") as fh:
+            fh.write(b'{"key": "aa22", "sha": "tru')  # torn, no newline
+        s2 = RunStore(tmp_path / "s")
+        s2.put(k2, [{"x": 2}])
+        assert s2.get(k2) == [{"x": 2}]  # readable in the writing handle
+        s3 = RunStore(tmp_path / "s")  # ... and after a fresh load
+        assert s3.get(k1) == [{"x": 1}]
+        assert s3.get(k2) == [{"x": 2}]
+
+    def test_store_path_collides_with_file(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(ConfigurationError):
+            RunStore(target)
+
+    def test_bad_digest_treated_as_missing(self, tmp_path):
+        s = RunStore(tmp_path / "s")
+        key = "bb" + "0" * 62
+        line = json.dumps({"key": key, "sha": "0" * 64, "records": [{"x": 1}]})
+        with open(os.path.join(s.path, "shard-bb.jsonl"), "a") as fh:
+            fh.write(line + "\n")
+        s2 = RunStore(tmp_path / "s")
+        assert key in s2  # indexed ...
+        assert s2.get(key) is None  # ... but fails integrity at read
+        assert key not in s2  # and is dropped
+
+    def test_last_write_wins(self, store):
+        key = "cc" + "0" * 62
+        store.put(key, [{"x": 1}])
+        store.put(key, [{"x": 2}])
+        assert store.get(key) == [{"x": 2}]
+        reopened = RunStore(store.path)
+        assert reopened.get(key) == [{"x": 2}]
+
+    def test_non_store_directory_refused(self, tmp_path):
+        with open(tmp_path / "meta.json", "w") as fh:
+            json.dump({"format": "something-else"}, fh)
+        with pytest.raises(ConfigurationError):
+            RunStore(tmp_path)
+
+    def test_records_sha_is_canonical(self):
+        assert _records_sha([{"a": 1, "b": 2}]) == _records_sha([{"b": 2, "a": 1}])
+
+
+class TestKeyCanonicalisation:
+    def test_graph_and_spec_payloads_key_identically(self, g):
+        spec = spec_of(g)
+        assert spec is not None
+        as_graph = cell_key_of(SweepCell("table1", 5, g, "idle", 0, None))
+        as_spec = cell_key_of(SweepCell("table1", 5, spec, "idle", 0, None))
+        assert as_graph == as_spec
+
+    def test_equal_hand_built_graphs_key_identically(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        g1 = PortLabeledGraph.from_edges(4, edges)
+        g2 = PortLabeledGraph.from_edges(4, edges)
+        assert spec_of(g1) is None
+        k1 = cell_key_of(SweepCell("table1", 5, g1, "idle", 0, None))
+        k2 = cell_key_of(SweepCell("table1", 5, g2, "idle", 0, None))
+        assert k1 == k2
+
+    def test_every_config_field_is_load_bearing(self, g):
+        base = SweepCell("table1", 5, g, "idle", 0, None)
+        variants = [
+            SweepCell("tolerance", 5, g, "idle", 0, None),
+            SweepCell("table1", 4, g, "idle", 0, None),
+            SweepCell("table1", 5, random_connected(8, seed=6), "idle", 0, None),
+            SweepCell("table1", 5, g, "squatter", 0, None),
+            SweepCell("table1", 5, g, "idle", 1, None),
+            SweepCell("table1", 5, g, "idle", 0, 2),
+        ]
+        keys = {cell_key_of(c) for c in variants}
+        assert cell_key_of(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_schema_version_invalidates(self, g):
+        args = dict(
+            kind="table1", serial=5, graph=["csr", 4, "x"],
+            adversary=Adversary("idle", seed=0).descriptor(), f=None, seed=0,
+        )
+        assert cell_key(**args) != cell_key(**args, schema_version=SCHEMA_VERSION + 1)
+
+    def test_adversary_descriptor_canonical(self):
+        assert Adversary("squatter", seed=3).descriptor() == ["adversary", "squatter", 3]
+        het = Adversary({2: "idle", 1: "squatter"}, seed=0).descriptor()
+        assert het == ["adversary", [[1, "squatter"], [2, "idle"]], 0]
+
+
+class TestWarmStoreZeroSolverCalls:
+    def test_run_table1(self, g, store, monkeypatch):
+        fresh = run_table1(g, strategies=["squatter", "idle"], serials=[4, 5], store=store)
+        _solver_ban(monkeypatch)
+        warm = run_table1(g, strategies=["squatter", "idle"], serials=[4, 5], store=store)
+        assert warm == fresh
+        assert store.puts == 4 and store.hits == 4
+
+    def test_tolerance_sweep(self, g, store, monkeypatch):
+        row = get_row(5)
+        fresh = tolerance_sweep(row, g, [0, 1, 2], "squatter", store=store)
+        _solver_ban(monkeypatch)
+        assert tolerance_sweep(row, g, [0, 1, 2], "squatter", store=store) == fresh
+
+    def test_scaling_sweep(self, store, monkeypatch):
+        row = get_row(5)
+        graphs = [random_connected(n, seed=1) for n in (6, 8)]
+        fresh = scaling_sweep(row, graphs, "idle", store=store)
+        _solver_ban(monkeypatch)
+        assert scaling_sweep(row, graphs, "idle", store=store) == fresh
+
+    def test_strategy_matrix(self, g, store, monkeypatch):
+        rows = [get_row(4), get_row(5)]
+        fresh = strategy_matrix(rows, g, ["squatter", "idle"], store=store)
+        _solver_ban(monkeypatch)
+        assert strategy_matrix(rows, g, ["squatter", "idle"], store=store) == fresh
+
+    def test_parallel_run_reads_serially_written_store(self, g, store, monkeypatch):
+        """Cache written by a serial run (graph payloads) must be hit by
+        a parallel run (spec payloads): keys are wire-format-independent."""
+        fresh = run_table1(g, strategies=["squatter", "idle"], serials=[4, 5], store=store)
+        _solver_ban(monkeypatch)
+        warm = run_table1(
+            g, strategies=["squatter", "idle"], serials=[4, 5], store=store, workers=2
+        )
+        assert warm == fresh
+
+    def test_resume_false_recomputes(self, g, store):
+        fresh = run_table1(g, strategies=["idle"], serials=[5], store=store)
+        again = run_table1(g, strategies=["idle"], serials=[5], store=store, resume=False)
+        assert again == fresh
+        assert store.hits == 0 and store.puts == 2
+
+
+class _CrashingStore(RunStore):
+    """A store whose process dies after ``budget`` successful appends."""
+
+    def __init__(self, path, budget):
+        super().__init__(path)
+        self.budget = budget
+
+    def put(self, key, records):
+        if self.budget <= 0:
+            raise KeyboardInterrupt("simulated crash")
+        super().put(key, records)
+        self.budget -= 1
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_killed_sweep_resumes_byte_identical(self, g, tmp_path, workers):
+        uninterrupted = run_table1(g, strategies=["squatter", "idle"], serials=[4, 5])
+
+        crashing = _CrashingStore(tmp_path / "store", budget=2)
+        with pytest.raises(KeyboardInterrupt):
+            run_table1(
+                g, strategies=["squatter", "idle"], serials=[4, 5],
+                store=crashing, workers=workers,
+            )
+        assert crashing.puts == 2  # bounded writes persisted before the kill
+
+        resumed_store = RunStore(tmp_path / "store")
+        assert len(resumed_store) == 2
+        resumed = run_table1(
+            g, strategies=["squatter", "idle"], serials=[4, 5],
+            store=resumed_store, workers=workers,
+        )
+        assert resumed == uninterrupted
+        assert resumed_store.hits == 2 and resumed_store.puts == 2
+
+    def test_resumed_run_skips_persisted_cells(self, g, tmp_path, monkeypatch):
+        crashing = _CrashingStore(tmp_path / "store", budget=2)
+        with pytest.raises(KeyboardInterrupt):
+            run_table1(g, strategies=["squatter", "idle"], serials=[4, 5], store=crashing)
+
+        calls = []
+        real = experiments._cell_records
+
+        def counting(cell):
+            calls.append(cell)
+            return real(cell)
+
+        monkeypatch.setattr(experiments, "_cell_records", counting)
+        run_table1(
+            g, strategies=["squatter", "idle"], serials=[4, 5],
+            store=RunStore(tmp_path / "store"),
+        )
+        assert len(calls) == 2  # only the two cells the crash lost
+
+
+class TestExecutePlan:
+    def test_results_align_with_cells(self, g):
+        cells = [
+            SweepCell("table1", 5, g, "idle", 0, None),
+            SweepCell("tolerance", 5, g, "idle", 0, 1),
+            SweepCell("scaling", 5, g, "idle", 0, 1),
+        ]
+        lists = execute_plan(cells)
+        assert [len(recs) for recs in lists] == [1, 1, 1]
+        assert lists[0][0]["serial"] == 5
+        assert lists[1][0]["rejected"] is False
+        assert "m" in lists[2][0]
+
+    def test_unknown_kind_rejected(self, g):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            execute_plan([SweepCell("nope", 5, g, "idle", 0, None)])
+
+    def test_store_roundtrip_preserves_record_types(self, g, store):
+        """JSON round-tripping must not perturb values: huge paper-bound
+        ints, bools, and strings all survive exactly (the byte-identical
+        guarantee)."""
+        fresh = run_table1(g, strategies=["idle"], serials=[6], store=store)
+        warm = run_table1(g, strategies=["idle"], serials=[6], store=store)
+        assert warm == fresh
+        for a, b in zip(fresh, warm):
+            assert list(a.keys()) == list(b.keys())
+            assert all(type(a[k]) is type(b[k]) for k in a)

@@ -155,6 +155,79 @@ class TestAdversaryController:
         b = choose_byzantine_ids(range(10), 4, "random", seed=3)
         assert a == b and len(a) == 4
 
+    def test_choose_random_default_is_deterministic(self):
+        """Regression: the old `seed=None` default drew from OS entropy,
+        so "random placement" sweeps were unreproducible (and could
+        never be cached content-addressed).  An unseeded call is pinned
+        to seed 0."""
+        a = choose_byzantine_ids(range(20), 5, "random")
+        assert a == choose_byzantine_ids(range(20), 5, "random")
+        assert a == choose_byzantine_ids(range(20), 5, "random", seed=None)
+        assert a == choose_byzantine_ids(range(20), 5, "random", seed=0)
+
+    def test_adversary_threads_seed_into_placement(self):
+        """Regression: Adversary(seed=...) never reached the placement
+        RNG; choose_ids must derive placement from the adversary seed."""
+        adv3 = Adversary("squatter", seed=3)
+        assert adv3.seed == 3
+        picked = adv3.choose_ids(range(10), 4, placement="random")
+        assert picked == choose_byzantine_ids(range(10), 4, "random", seed=3)
+        assert picked != Adversary("squatter", seed=4).choose_ids(
+            range(10), 4, placement="random"
+        )
+        # deterministic placements are seed-independent
+        assert adv3.choose_ids([5, 1, 9, 3], 2) == [1, 3]
+
+    def test_build_population_uses_adversary_seed_for_placement(self):
+        """End-to-end: two runs with the same adversary seed corrupt the
+        same IDs under random placement, regardless of the run seed."""
+        from repro.core._setup import build_population
+
+        g = ring(9)
+        pops = [
+            build_population(
+                g, f=3, start="gathered", byz_placement="random",
+                adversary=Adversary("squatter", seed=7), seed=run_seed,
+            )
+            for run_seed in (0, 1)
+        ]
+        assert pops[0].byz_ids == pops[1].byz_ids
+        different = build_population(
+            g, f=3, start="gathered", byz_placement="random",
+            adversary=Adversary("squatter", seed=8), seed=0,
+        )
+        assert different.byz_ids != pops[0].byz_ids
+
+    def test_theorem2_charge_preview_matches_actual_placement(self):
+        """Regression: the charge-preview population must resolve the
+        same adversary as the solver's, or the charged |Λgood| is
+        computed over IDs that are not the ones actually honest."""
+        from repro.core._setup import build_population
+        from repro.core.general_graphs import solve_theorem2
+        from repro.gathering.oracle import weak_gathering_rounds
+
+        g = random_connected(8, seed=5)
+        # adversary seed 1 != run seed 0 picks a different corruption set
+        # than run-seed placement would (checked below), so a preview
+        # that ignores the adversary charges the wrong |Λgood|.
+        adv = Adversary("idle", seed=1)
+        pop = build_population(
+            g, f=3, start=0, adversary=adv, byz_placement="random", seed=0
+        )
+        run_seed_pop = build_population(g, f=3, start=0, byz_placement="random", seed=0)
+        expected = weak_gathering_rounds(g, pop.honest_ids)
+        assert expected != weak_gathering_rounds(g, run_seed_pop.honest_ids)
+        report = solve_theorem2(
+            g, f=3, adversary=adv, seed=0, byz_placement="random"
+        )
+        assert dict(report.phases)["gathering_dpp_weak"] == expected
+
+    def test_adversary_descriptor(self):
+        assert Adversary("squatter", seed=3).descriptor() == \
+            ["adversary", "squatter", 3]
+        assert Adversary({3: "idle", 1: "squatter"}, seed=0).descriptor() == \
+            ["adversary", [[1, "squatter"], [3, "idle"]], 0]
+
     def test_choose_zero(self):
         assert choose_byzantine_ids([1, 2], 0, "highest") == []
 
