@@ -26,6 +26,14 @@ Usage::
     python benchmarks/check_regression.py --suite engine  # just the engine
     python benchmarks/check_regression.py --tolerance 1.5
     python benchmarks/check_regression.py --update        # refresh baselines
+    python benchmarks/check_regression.py --check-files   # schema/consistency only
+
+``--check-files`` validates the *checked-in* baseline JSON without
+re-running any benchmark: required keys present, suite names matching,
+scenarios non-empty and behaviourally identical, and the recorded
+``store_schema_version`` equal to the current
+:data:`repro.analysis.store.SCHEMA_VERSION`.  It is deterministic and
+hardware-independent, so CI can gate on it without timing flakiness.
 
 Intended both for CI and for local runs before committing engine or
 graph-layer changes.
@@ -54,6 +62,72 @@ SUITES = {
         lambda params: run_graph_benchmark(**params),
     ),
 }
+
+
+#: Top-level keys every bench payload must carry, and the per-scenario
+#: keys the wall-clock gate relies on.
+REQUIRED_KEYS = (
+    "benchmark", "params", "scenarios", "overall_speedup", "all_identical",
+    "store_schema_version",
+)
+REQUIRED_SCENARIO_KEYS = ("scenario", "optimized_s", "reference_s", "speedup",
+                          "identical")
+
+
+def check_file(name: str, baseline_path: str) -> int:
+    """Schema/consistency validation of one checked-in baseline.
+
+    No benchmark re-run: this asserts the *file* is a baseline the wall
+    clock gate could use — shape complete, suite name right, scenarios
+    behaviourally identical, schema version current.  Returns the number
+    of failures (0 = pass).
+    """
+    from repro.analysis.store import SCHEMA_VERSION
+
+    problems = []
+    try:
+        with open(baseline_path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"[{name}] FAIL: cannot read {baseline_path}: {exc}")
+        return 1
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    if payload.get("benchmark") not in (None, name):
+        problems.append(
+            f"benchmark name {payload.get('benchmark')!r} does not match "
+            f"suite {name!r}"
+        )
+    if payload.get("store_schema_version") not in (None, SCHEMA_VERSION):
+        problems.append(
+            f"store_schema_version {payload.get('store_schema_version')!r} is "
+            f"stale (current: {SCHEMA_VERSION}); refresh with --update "
+            f"--allow-schema-change"
+        )
+    scenarios = payload.get("scenarios", [])
+    if not scenarios:
+        problems.append("no scenarios recorded")
+    if not payload.get("all_identical", False):
+        problems.append("all_identical is not true (behaviour mismatch baked in)")
+    for s in scenarios:
+        sname = s.get("scenario", "<unnamed>")
+        for key in REQUIRED_SCENARIO_KEYS:
+            if key not in s:
+                problems.append(f"scenario {sname}: missing key {key!r}")
+        if not s.get("identical", False):
+            problems.append(f"scenario {sname}: identical is not true")
+        for key in ("optimized_s", "reference_s"):
+            if not isinstance(s.get(key), (int, float)) or s.get(key, -1) < 0:
+                problems.append(f"scenario {sname}: bad {key!r}")
+    if problems:
+        print(f"[{name}] FAIL: {baseline_path}")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print(f"[{name}] PASS: {baseline_path} is a consistent baseline "
+              f"({len(scenarios)} scenarios, schema {SCHEMA_VERSION})")
+    return len(problems)
 
 
 def check_suite(name: str, baseline_path: str, runner, tolerance: float,
@@ -135,17 +209,25 @@ def main(argv=None) -> int:
     ap.add_argument("--allow-schema-change", action="store_true",
                     help="let --update cross a run-store schema-version bump "
                          "(refused by default)")
+    ap.add_argument("--check-files", action="store_true",
+                    help="validate the checked-in baseline JSON only "
+                         "(schema/consistency; no benchmark re-run)")
     args = ap.parse_args(argv)
 
     names = list(SUITES) if args.suite == "all" else [args.suite]
     if args.baseline is not None and len(names) != 1:
         ap.error("--baseline requires --suite engine or --suite graphs")
+    if args.check_files and args.update:
+        ap.error("--check-files and --update are mutually exclusive")
 
     failures = 0
     for name in names:
         baseline_path, runner = SUITES[name]
         if args.baseline is not None:
             baseline_path = args.baseline
+        if args.check_files:
+            failures += check_file(name, baseline_path)
+            continue
         failures += check_suite(
             name, baseline_path, runner, args.tolerance, args.update,
             allow_schema_change=args.allow_schema_change,

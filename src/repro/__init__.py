@@ -7,7 +7,7 @@ seven Table 1 algorithms, the Theorem 8 impossibility construction,
 prior-work baselines, and the benchmark harness that regenerates the
 paper's results table.
 
-Quick start::
+Quick start — one run::
 
     from repro import solve_theorem1, Adversary
     from repro.graphs import random_connected
@@ -15,6 +15,23 @@ Quick start::
     g = random_connected(12, seed=1)          # view-distinguishable w.h.p.
     report = solve_theorem1(g, f=11, adversary=Adversary("squatter"))
     assert report.success                     # dispersed despite n-1 liars
+
+Quick start — declarative scenarios (the experiment API)::
+
+    from repro import Scenario, grid
+    from repro.graphs import random_connected
+
+    g = random_connected(9, seed=0)
+    # One cell: row 5 at its tolerance bound under a hostile strategy.
+    records = Scenario(algorithm=5, graph=g, strategy="squatter").run()
+    # A whole sweep: rows x strategies, resumable via store=RunStore(...).
+    results = grid(rows=[4, 5], graphs=g,
+                   strategies=["squatter", "idle"]).run()
+    print(results.summarize("strategy"))
+
+A :class:`~repro.scenarios.Scenario` is serializable (``to_dict`` /
+``from_dict``; ``repro scenario file.json`` on the CLI) and its
+``key()`` is the run-store cache key of the work it describes.
 
 See README.md for the architecture tour, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for the Table 1 reproduction.
@@ -49,14 +66,20 @@ from .errors import (
     ReproError,
     SimulationError,
 )
+from .scenarios import ResultSet, Scenario, ScenarioGrid, grid, run_scenarios
 from .sim import RunReport, World
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "World",
     "RunReport",
+    "Scenario",
+    "ScenarioGrid",
+    "ResultSet",
+    "grid",
+    "run_scenarios",
     "Adversary",
     "STRATEGIES",
     "WEAK_STRATEGIES",

@@ -1,4 +1,9 @@
-"""Analysis: validation, metrics, complexity fits, tables, experiment sweeps."""
+"""Analysis: validation, metrics, complexity fits, tables, experiment sweeps.
+
+The four sweep entry points here are compatibility presets over the
+declarative Scenario API in :mod:`repro.scenarios` — new experiment code
+should build :class:`~repro.scenarios.ScenarioGrid`s directly.
+"""
 
 from .benchmark import run_benchmark, write_bench_json
 from .complexity import PowerFit, doubling_ratios, fit_power_law

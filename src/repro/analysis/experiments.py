@@ -59,7 +59,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..byzantine.adversary import Adversary
-from ..core.runner import TABLE1, Table1Row, get_row, row_applicable
+from ..core.runner import Table1Row, get_row, row_applicable
 from ..errors import ReproError
 from ..graphs.port_labeled import PortLabeledGraph
 from ..graphs.specs import GraphSpec, canonical_spec, graph_fingerprint, resolve_spec, spec_of
@@ -84,19 +84,35 @@ __all__ = [
 DEFAULT_CHUNK = 1
 
 
+def _solver_extras(placement: str, max_rounds: Optional[int]) -> Dict:
+    """Non-default solver kwargs only: the default call stays bit-for-bit
+    the historical one, and hand-built rows whose solvers predate the
+    ``byz_placement``/``max_rounds`` kwargs keep working."""
+    extras: Dict = {}
+    if placement != "lowest":
+        extras["byz_placement"] = placement
+    if max_rounds is not None:
+        extras["max_rounds"] = max_rounds
+    return extras
+
+
 def run_table1_row(
     row: Table1Row,
     graph: PortLabeledGraph,
     strategies: Sequence[str],
     seed: int = 0,
     f: Optional[int] = None,
+    placement: str = "lowest",
+    max_rounds: Optional[int] = None,
 ) -> List[Dict]:
     """Run one Table 1 row at its tolerance bound under several strategies."""
+    extras = _solver_extras(placement, max_rounds)
     f_used = row.f_max(graph) if f is None else f
     records = []
     for strat in strategies:
         report = row.solver(
-            graph, f=f_used, adversary=Adversary(strat, seed=seed), seed=seed
+            graph, f=f_used, adversary=Adversary(strat, seed=seed), seed=seed,
+            **extras,
         )
         records.append(
             record_from_report(
@@ -179,6 +195,11 @@ class SweepCell:
     strategy: str
     seed: int
     f: Optional[int] = None
+    #: Byzantine placement ("lowest"/"highest"/"random") and an optional
+    #: round budget.  Defaults reproduce the historical cells exactly and
+    #: are omitted from the content key, so old stores stay warm.
+    placement: str = "lowest"
+    rounds: Optional[int] = None
 
 
 def _payload_fingerprint(payload: GraphPayload):
@@ -203,6 +224,8 @@ def cell_key_of(cell: SweepCell, fingerprint=None) -> str:
         adversary=Adversary(cell.strategy, seed=cell.seed).descriptor(),
         f=cell.f,
         seed=cell.seed,
+        placement=cell.placement,
+        rounds=cell.rounds,
     )
 
 
@@ -212,11 +235,24 @@ def _cell_records(cell: SweepCell) -> List[Dict]:
     row = get_row(cell.serial)
     graph = _resolve_payload(cell.payload)
     if cell.kind == "table1":
-        return run_table1_row(row, graph, [cell.strategy], seed=cell.seed, f=cell.f)
+        return run_table1_row(
+            row, graph, [cell.strategy], seed=cell.seed, f=cell.f,
+            placement=cell.placement, max_rounds=cell.rounds,
+        )
     if cell.kind == "tolerance":
-        return [_tolerance_record(row, graph, cell.f, cell.strategy, cell.seed)]
+        return [
+            _tolerance_record(
+                row, graph, cell.f, cell.strategy, cell.seed,
+                placement=cell.placement, max_rounds=cell.rounds,
+            )
+        ]
     if cell.kind == "scaling":
-        return [_scaling_record(row, graph, cell.f, cell.strategy, cell.seed)]
+        return [
+            _scaling_record(
+                row, graph, cell.f, cell.strategy, cell.seed,
+                placement=cell.placement, max_rounds=cell.rounds,
+            )
+        ]
     raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 
@@ -299,12 +335,14 @@ def execute_plan(
 
 
 def _scaling_record(
-    row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int
+    row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int,
+    placement: str = "lowest", max_rounds: Optional[int] = None,
 ) -> Dict:
     """One scaling-sweep record (shared by the serial and worker paths so
     the parallel-equals-serial guarantee cannot drift)."""
     report = row.solver(
-        graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
+        graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed,
+        **_solver_extras(placement, max_rounds),
     )
     return record_from_report(
         report, serial=row.serial, theorem=row.theorem, f=f,
@@ -314,7 +352,8 @@ def _scaling_record(
 
 
 def _tolerance_record(
-    row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int
+    row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int,
+    placement: str = "lowest", max_rounds: Optional[int] = None,
 ) -> Dict:
     """Run one ``f`` value, mapping in-bound driver rejections to a
     ``rejected`` record.  Only the repro error hierarchy is treated as a
@@ -322,7 +361,8 @@ def _tolerance_record(
     and must propagate, not masquerade as an out-of-tolerance result."""
     try:
         report = row.solver(
-            graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed
+            graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed,
+            **_solver_extras(placement, max_rounds),
         )
         return record_from_report(
             report, serial=row.serial, theorem=row.theorem, f=f,
@@ -338,8 +378,17 @@ def _tolerance_record(
 
 
 # --------------------------------------------------------------------- #
-# Sweeps
+# Sweeps — compatibility presets over the Scenario API
 # --------------------------------------------------------------------- #
+#
+# The four public sweeps are kept as deprecation shims: each compiles its
+# historical signature into a ScenarioGrid preset (repro.scenarios) and
+# runs it through execute_plan, producing byte-identical records to the
+# pre-Scenario implementations.  New code should build grids directly —
+# `from repro import grid` — where every workload axis (placement, round
+# budgets, multiple graphs/seeds) is declarative instead of a new
+# parameter list.  (Imports are function-local: repro.scenarios imports
+# this module's executor.)
 
 def run_table1(
     graph: PortLabeledGraph,
@@ -353,22 +402,16 @@ def run_table1(
 ) -> List[Dict]:
     """Reproduce every applicable Table 1 row on one graph.
 
+    Deprecation shim for ``table1_grid(graph, strategies, ...).run()``.
     ``workers > 1`` fans the (row × strategy) cells out over processes;
     a ``store`` makes the sweep resumable (see :func:`execute_plan`).
     Record order and values match a serial, store-less run exactly.
     """
-    rows = [
-        row
-        for row in TABLE1
-        if (serials is None or row.serial in serials) and row_applicable(row, graph)
-    ]
-    cells = [
-        SweepCell("table1", row.serial, graph, strat, seed, None)
-        for row in rows
-        for strat in strategies
-    ]
-    lists = execute_plan(cells, workers=workers, store=store, resume=resume, chunk=chunk)
-    return [rec for recs in lists for rec in recs]
+    from ..scenarios import table1_grid
+
+    return table1_grid(graph, strategies, seed=seed, serials=serials).run(
+        workers=workers, store=store, resume=resume, chunk=chunk
+    )
 
 
 def tolerance_sweep(
@@ -384,15 +427,22 @@ def tolerance_sweep(
 ) -> List[Dict]:
     """Success vs ``f`` for one algorithm (at, below, and — where the
     driver allows — beyond its bound; out-of-range values are recorded as
-    ``rejected`` instead of run)."""
+    ``rejected`` instead of run).
+
+    Deprecation shim for ``tolerance_grid(row, graph, f_values, ...)``.
+    """
+    from ..scenarios import ResultSet, tolerance_grid
+
     serial = _registry_serial(row)
     if serial is None:
         # Hand-built row: lambdas do not pickle and the registry cannot
         # re-resolve it, so it can be neither parallelised nor cached.
-        return [_tolerance_record(row, graph, f, strategy, seed) for f in f_values]
-    cells = [SweepCell("tolerance", serial, graph, strategy, seed, f) for f in f_values]
-    lists = execute_plan(cells, workers=workers, store=store, resume=resume, chunk=chunk)
-    return [recs[0] for recs in lists]
+        return ResultSet(
+            _tolerance_record(row, graph, f, strategy, seed) for f in f_values
+        )
+    return tolerance_grid(serial, graph, f_values, strategy, seed=seed).run(
+        workers=workers, store=store, resume=resume, chunk=chunk
+    )
 
 
 def scaling_sweep(
@@ -407,18 +457,23 @@ def scaling_sweep(
     chunk: int = DEFAULT_CHUNK,
 ) -> List[Dict]:
     """Measured rounds vs ``n`` across a graph family, at a fixed fraction
-    of the row's tolerance (for power-law fitting against the bound)."""
-    applicable = [g for g in graphs if row_applicable(row, g)]
-    fs = [int(row.f_max(g) * f_fraction_of_max) for g in applicable]
+    of the row's tolerance (for power-law fitting against the bound).
+
+    Deprecation shim for ``scaling_grid(row, graphs, strategy, ...)``.
+    """
+    from ..scenarios import ResultSet, scaling_grid
+
     serial = _registry_serial(row)
     if serial is None:
-        return [_scaling_record(row, g, f, strategy, seed) for g, f in zip(applicable, fs)]
-    cells = [
-        SweepCell("scaling", serial, g, strategy, seed, f)
-        for g, f in zip(applicable, fs)
-    ]
-    lists = execute_plan(cells, workers=workers, store=store, resume=resume, chunk=chunk)
-    return [recs[0] for recs in lists]
+        applicable = [g for g in graphs if row_applicable(row, g)]
+        fs = [int(row.f_max(g) * f_fraction_of_max) for g in applicable]
+        return ResultSet(
+            _scaling_record(row, g, f, strategy, seed)
+            for g, f in zip(applicable, fs)
+        )
+    return scaling_grid(
+        serial, graphs, strategy, seed=seed, f_fraction_of_max=f_fraction_of_max
+    ).run(workers=workers, store=store, resume=resume, chunk=chunk)
 
 
 def strategy_matrix(
@@ -431,19 +486,21 @@ def strategy_matrix(
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
 ) -> List[Dict]:
-    """Algorithms × strategies grid at each row's tolerance bound."""
+    """Algorithms × strategies grid at each row's tolerance bound.
+
+    Deprecation shim for ``strategy_matrix_grid(rows, graph, ...)``.
+    """
+    from ..scenarios import ResultSet, strategy_matrix_grid
+
     applicable = [row for row in rows if row_applicable(row, graph)]
     if all(_registry_serial(row) is not None for row in applicable):
-        cells = [
-            SweepCell("table1", row.serial, graph, strat, seed, None)
-            for row in applicable
-            for strat in strategies
-        ]
-        lists = execute_plan(
-            cells, workers=workers, store=store, resume=resume, chunk=chunk
-        )
-        return [rec for recs in lists for rec in recs]
-    records: List[Dict] = []
+        # Applicability is already filtered above; tell the grid not to
+        # redo it (for row 1 that is an O(n·m) quotient-isomorphism check).
+        return strategy_matrix_grid(
+            [row.serial for row in applicable], graph, strategies, seed=seed,
+            applicable_only=False,
+        ).run(workers=workers, store=store, resume=resume, chunk=chunk)
+    records = ResultSet()
     for row in applicable:
         records.extend(run_table1_row(row, graph, strategies, seed=seed))
     return records

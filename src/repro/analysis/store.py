@@ -87,6 +87,8 @@ def cell_key(
     f: Optional[int],
     seed: int,
     schema_version: int = SCHEMA_VERSION,
+    placement: str = "lowest",
+    rounds: Optional[int] = None,
 ) -> str:
     """Canonical content hash identifying one sweep cell.
 
@@ -96,18 +98,26 @@ def cell_key(
     descriptor (:meth:`~repro.byzantine.adversary.Adversary.descriptor`).
     Two cells collide exactly when they would run the identical solver
     invocation under the identical record schema.
+
+    ``placement`` (Byzantine placement) and ``rounds`` (round budget)
+    join the hashed payload **only at non-default values**: a default
+    cell's key is bit-identical to the PR-3 key, so existing stores stay
+    warm across the Scenario API introduction.
     """
-    payload = _canonical_json(
-        {
-            "kind": kind,
-            "serial": serial,
-            "graph": graph,
-            "adversary": adversary,
-            "f": f,
-            "seed": seed,
-            "schema": schema_version,
-        }
-    )
+    config = {
+        "kind": kind,
+        "serial": serial,
+        "graph": graph,
+        "adversary": adversary,
+        "f": f,
+        "seed": seed,
+        "schema": schema_version,
+    }
+    if placement != "lowest":
+        config["placement"] = placement
+    if rounds is not None:
+        config["rounds"] = rounds
+    payload = _canonical_json(config)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -263,6 +273,34 @@ class RunStore:
     # ----------------------------------------------------------------- #
     # Introspection
     # ----------------------------------------------------------------- #
+
+    def stats(self) -> Dict:
+        """Inspectable on-disk facts (``repro store stats``): shard
+        count, indexed cells, byte totals, and schema versions — without
+        anyone having to read JSONL by hand.
+
+        ``bytes`` is the shard payload on disk (meta.json excluded);
+        ``indexed_bytes`` the bytes the live index points at — the gap is
+        superseded or corrupt lines a future compaction could reclaim.
+        """
+        shards = self._shard_files()
+        shard_bytes = 0
+        for shard in shards:
+            try:
+                shard_bytes += os.path.getsize(shard)
+            except OSError:
+                pass
+        return {
+            "path": self.path,
+            "format": "repro-run-store",
+            "schema_version": self.schema_version,
+            "created_schema_version": self.created_schema_version,
+            "shards": len(shards),
+            "cells": len(self._index),
+            "bytes": shard_bytes,
+            "indexed_bytes": sum(length for _, _, length in self._index.values()),
+            "torn_shards": len(self._torn_shards),
+        }
 
     def __contains__(self, key: str) -> bool:
         return key in self._index

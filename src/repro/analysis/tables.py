@@ -4,7 +4,20 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["render_table", "format_big"]
+__all__ = ["render_table", "format_big", "infer_columns"]
+
+
+def infer_columns(rows: Sequence[Dict]) -> List[str]:
+    """Ordered union of row keys (first-seen order) — the column set a
+    table gets when none is specified.  Shared with
+    :meth:`repro.scenarios.ResultSet.columns` so the inference rule
+    cannot drift between the two."""
+    columns: List[str] = []
+    for r in rows:
+        for k in r:
+            if k not in columns:
+                columns.append(k)
+    return columns
 
 
 def format_big(x) -> str:
@@ -36,11 +49,7 @@ def render_table(
     """Render dict rows as an aligned monospace table."""
     rows = list(rows)
     if columns is None:
-        columns = []
-        for r in rows:
-            for k in r:
-                if k not in columns:
-                    columns.append(k)
+        columns = infer_columns(rows)
     cells = [[format_big(r.get(c, "")) for c in columns] for r in rows]
     widths = [
         max(len(str(c)), *(len(row[i]) for row in cells)) if cells else len(str(c))

@@ -6,23 +6,35 @@ Commands
 ``run``          run one Table 1 row with explicit parameters
 ``tolerance``    sweep f for one row
 ``sweep``        resumable Table 1 grid backed by an on-disk run store
+``scenario``     run scenario(s) from a JSON file (the declarative API)
+``store``        inspect an on-disk run store (``store stats DIR``)
 ``impossible``   run the Theorem 8 construction
 ``strategies``   list the adversary zoo
 ``bench``        microbenchmarks: engine and/or graph substrate
                  (``--suite engine|graphs|all``)
 
-Sweep commands accept ``--workers N`` to fan independent cells out over
-``N`` processes; records are identical to (and ordered like) a serial
-run.  ``sweep`` additionally takes ``--store DIR`` (content-addressed
-cell cache), ``--resume/--no-resume`` and ``--chunk`` — a re-run against
-a warm store answers entirely from disk with zero solver calls.
+Every solver-running command (``table1``, ``run``, ``tolerance``,
+``sweep``, ``scenario``) goes through the same plan executor and accepts
+the same plan flags: ``--workers N`` fans independent cells out over
+``N`` processes (records identical to, and ordered like, a serial run);
+``--store DIR`` caches completed cells in a content-addressed run store;
+``--resume/--no-resume`` and ``--chunk`` control replay and dispatch.  A
+re-run of any of them against a warm store answers entirely from disk
+with zero solver calls.
+
+``scenario`` takes a JSON file holding one scenario object or a list —
+the serialized form of :class:`repro.scenarios.Scenario` — and hits
+exactly the same store cells as the equivalent sweep.
 
 Examples::
 
     python -m repro table1 --n 10 --strategy ghost_squatter --workers 4
-    python -m repro run --row 4 --n 9 --f 3 --strategy squatter
-    python -m repro tolerance --row 5 --n 9
+    python -m repro run --row 4 --n 9 --f 3 --strategy squatter --store runs/
+    python -m repro tolerance --row 5 --n 9 --store runs/ --workers 2
     python -m repro sweep --n 9 --strategies squatter,idle --store runs/ --workers 4
+    python -m repro scenario experiment.json --store runs/
+    python -m repro scenario experiment.json --key   # print cell keys only
+    python -m repro store stats runs/
     python -m repro impossible --n 6 --k 12 --f 6
     python -m repro bench --out benchmarks/BENCH_engine.json
     python -m repro bench --suite graphs
@@ -48,7 +60,9 @@ from .analysis.benchmark import format_report, write_bench_json
 from .analysis.graphbench import format_graph_report
 from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
 from .core import demonstrate_impossibility, get_row
+from .errors import ReproError
 from .graphs import is_quotient_isomorphic, random_connected
+from .scenarios import Scenario, ScenarioGrid, run_scenarios
 
 __all__ = ["main"]
 
@@ -75,10 +89,25 @@ def _sample_graph(n: int, require_view_distinct: bool, seed: int):
     raise SystemExit(f"could not sample a suitable graph with n={n}")
 
 
+def _store_of(args) -> Optional[RunStore]:
+    """The run store a plan-flagged command should use (or ``None``)."""
+    return RunStore(args.store) if getattr(args, "store", None) else None
+
+
+def _print_store_traffic(store: Optional[RunStore]) -> None:
+    if store is not None:
+        print(
+            f"store {store.path}: {store.hits} cell(s) answered from cache, "
+            f"{store.puts} computed, {len(store)} total entries"
+        )
+
+
 def _cmd_table1(args) -> int:
     graph = _sample_graph(args.n, require_view_distinct=True, seed=args.seed)
+    store = _store_of(args)
     records = run_table1(
-        graph, strategies=[args.strategy], seed=args.seed, workers=args.workers
+        graph, strategies=[args.strategy], seed=args.seed, workers=args.workers,
+        store=store, resume=args.resume, chunk=args.chunk,
     )
     print(
         render_table(
@@ -90,27 +119,52 @@ def _cmd_table1(args) -> int:
             title=f"Table 1 reproduction (n={graph.n}, m={graph.m}, strategy={args.strategy})",
         )
     )
+    _print_store_traffic(store)
     return 0 if all(r["success"] for r in records) else 1
 
 
 def _cmd_run(args) -> int:
     row = get_row(args.row)
     graph = _sample_graph(args.n, require_view_distinct=(args.row == 1), seed=args.seed)
-    f = row.f_max(graph) if args.f is None else args.f
-    report = row.solver(
-        graph, f=f, adversary=Adversary(args.strategy, seed=args.seed), seed=args.seed
-    )
-    print(f"row {row.serial} (Theorem {row.theorem}), n={graph.n}, f={f}, "
-          f"strategy={args.strategy}")
-    print(f"  success          : {report.success}")
-    print(f"  simulated rounds : {report.rounds_simulated:,}")
-    print(f"  charged rounds   : {report.rounds_charged:,}")
-    for label, rounds in report.phases:
-        print(f"    - {label}: {rounds:,}")
-    if report.violations:
+    if args.detail:
+        # Direct solver call: full RunReport diagnostics (per-phase round
+        # breakdown, violation messages) that the flat record pipeline
+        # cannot carry.  Uncached and serial by design.
+        f = row.f_max(graph) if args.f is None else args.f
+        report = row.solver(
+            graph, f=f, adversary=Adversary(args.strategy, seed=args.seed),
+            seed=args.seed,
+        )
+        print(f"row {row.serial} (Theorem {row.theorem}), n={graph.n}, f={f}, "
+              f"strategy={args.strategy}")
+        print(f"  success          : {report.success}")
+        print(f"  simulated rounds : {report.rounds_simulated:,}")
+        print(f"  charged rounds   : {report.rounds_charged:,}")
+        for label, rounds in report.phases:
+            print(f"    - {label}: {rounds:,}")
         for v in report.violations:
             print(f"  violation        : {v}")
-    return 0 if report.success else 1
+        return 0 if report.success else 1
+    scenario = Scenario(
+        algorithm=args.row, graph=graph, strategy=args.strategy,
+        f="max" if args.f is None else args.f, seed=args.seed,
+    )
+    store = _store_of(args)
+    records = scenario.run(
+        workers=args.workers, store=store, resume=args.resume, chunk=args.chunk
+    )
+    rec = records[0]
+    print(f"row {row.serial} (Theorem {row.theorem}), n={graph.n}, f={rec['f']}, "
+          f"strategy={args.strategy}")
+    print(f"  success          : {rec['success']}")
+    print(f"  simulated rounds : {rec['rounds_simulated']:,}")
+    print(f"  charged rounds   : {rec['rounds_charged']:,}")
+    print(f"  violations       : {rec['n_violations']}")
+    if not rec["success"]:
+        print("  (re-run with --detail for the per-phase breakdown and "
+              "violation messages)")
+    _print_store_traffic(store)
+    return 0 if rec["success"] else 1
 
 
 def _cmd_tolerance(args) -> int:
@@ -118,8 +172,10 @@ def _cmd_tolerance(args) -> int:
     graph = _sample_graph(args.n, require_view_distinct=(args.row == 1), seed=args.seed)
     f_max = row.f_max(graph)
     fs = list(range(0, min(f_max + 3, graph.n)))
+    store = _store_of(args)
     records = tolerance_sweep(
-        row, graph, fs, args.strategy, seed=args.seed, workers=args.workers
+        row, graph, fs, args.strategy, seed=args.seed, workers=args.workers,
+        store=store, resume=args.resume, chunk=args.chunk,
     )
     print(
         render_table(
@@ -128,6 +184,7 @@ def _cmd_tolerance(args) -> int:
             title=f"Tolerance sweep, row {row.serial} (bound f<={f_max}), n={graph.n}",
         )
     )
+    _print_store_traffic(store)
     return 0
 
 
@@ -144,7 +201,7 @@ def _cmd_sweep(args) -> int:
         if args.serials else None
     )
     graph = _sample_graph(args.n, require_view_distinct=True, seed=args.seed)
-    store = RunStore(args.store) if args.store else None
+    store = _store_of(args)
     records = run_table1(
         graph,
         strategies=strategies,
@@ -172,12 +229,69 @@ def _cmd_sweep(args) -> int:
                   f"strategies={','.join(strategies)})",
         )
     )
-    if store is not None:
-        print(
-            f"store {store.path}: {store.hits} cell(s) answered from cache, "
-            f"{store.puts} computed, {len(store)} total entries"
-        )
+    _print_store_traffic(store)
     return 0 if all(r["success"] for r in records) else 1
+
+
+def _cmd_scenario(args) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read scenario file {args.file!r}: {exc}")
+    try:
+        if isinstance(payload, list):
+            scenario_grid = ScenarioGrid.from_dicts(payload)
+        else:
+            scenario_grid = ScenarioGrid([Scenario.from_dict(payload)])
+    except ReproError as exc:
+        raise SystemExit(f"invalid scenario file {args.file!r}: {exc}")
+    if not len(scenario_grid):
+        raise SystemExit(f"scenario file {args.file!r} holds no scenarios")
+    for scenario in scenario_grid:
+        print(f"scenario: {scenario.describe()}")
+        print(f"  key: {scenario.key()}")
+    if args.key:
+        return 0
+    store = _store_of(args)
+    try:
+        records = scenario_grid.run(
+            workers=args.workers, store=store, resume=args.resume, chunk=args.chunk
+        )
+    except ReproError as exc:
+        # Predictable run-time rejections (f beyond the row's bound, a
+        # graph outside the row's class) get the same clean exit as a
+        # malformed file, not a traceback.  (Tolerance-kind scenarios
+        # *record* driver rejections instead of raising.)
+        raise SystemExit(f"scenario rejected: {type(exc).__name__}: {exc}")
+    if args.json:
+        print(records.to_json(indent=2))
+    else:
+        print(records.table(title=f"Scenario records ({len(records)})"))
+    _print_store_traffic(store)
+    return 0 if all(r.get("success") or r.get("rejected") for r in records) else 1
+
+
+def _cmd_store(args) -> int:
+    # Inspection must not mutate disk: opening a RunStore on a missing or
+    # empty path would *create* a store (makedirs + meta.json) at a typo.
+    if not Path(args.path).is_dir() or not (Path(args.path) / "meta.json").is_file():
+        raise SystemExit(f"{args.path!r} is not a run store (no meta.json)")
+    stats = RunStore(args.path).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"run store {stats['path']}")
+    print(f"  schema version   : {stats['schema_version']} "
+          f"(created under {stats['created_schema_version']})")
+    print(f"  shards           : {stats['shards']}")
+    print(f"  cells            : {stats['cells']}")
+    print(f"  bytes on disk    : {stats['bytes']:,} "
+          f"({stats['indexed_bytes']:,} indexed)")
+    if stats["torn_shards"]:
+        print(f"  torn shards      : {stats['torn_shards']} "
+              f"(trailing crash debris; repaired on next append)")
+    return 0
 
 
 def _cmd_impossible(args) -> int:
@@ -247,6 +361,21 @@ def _cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _add_plan_args(parser: argparse.ArgumentParser) -> None:
+    """The plan-executor flags every solver-running subcommand shares."""
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes for the plan (default: serial)")
+    parser.add_argument("--store", default=None,
+                        help="run-store directory (created if missing; "
+                             "omit to disable caching)")
+    parser.add_argument("--resume", action="store_true", default=True,
+                        help="answer cells already in the store from disk (default)")
+    parser.add_argument("--no-resume", dest="resume", action="store_false",
+                        help="recompute every cell (results still appended to the store)")
+    parser.add_argument("--chunk", type=int, default=1,
+                        help="cells per worker dispatch chunk (default: 1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
@@ -259,8 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--n", type=int, default=9)
     t1.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
     t1.add_argument("--seed", type=int, default=0)
-    t1.add_argument("--workers", type=int, default=None,
-                    help="processes for the sweep (default: serial)")
+    _add_plan_args(t1)
     t1.set_defaults(func=_cmd_table1)
 
     run = sub.add_parser("run", help="run one Table 1 row")
@@ -269,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--f", type=int, default=None, help="defaults to the row's bound")
     run.add_argument("--strategy", default="squatter", choices=sorted(STRATEGIES))
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--detail", action="store_true",
+                     help="call the solver directly for full diagnostics "
+                          "(per-phase rounds, violation messages); "
+                          "bypasses the store/executor")
+    _add_plan_args(run)
     run.set_defaults(func=_cmd_run)
 
     tol = sub.add_parser("tolerance", help="sweep f for one row")
@@ -276,8 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     tol.add_argument("--n", type=int, default=9)
     tol.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
     tol.add_argument("--seed", type=int, default=0)
-    tol.add_argument("--workers", type=int, default=None,
-                     help="processes for the sweep (default: serial)")
+    _add_plan_args(tol)
     tol.set_defaults(func=_cmd_tolerance)
 
     sw = sub.add_parser(
@@ -289,17 +421,30 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--serials", default=None,
                     help="comma-separated Table 1 serials (default: all applicable)")
     sw.add_argument("--seed", type=int, default=0)
-    sw.add_argument("--store", default=None,
-                    help="run-store directory (created if missing; omit to disable caching)")
-    sw.add_argument("--resume", action="store_true", default=True,
-                    help="answer cells already in the store from disk (default)")
-    sw.add_argument("--no-resume", dest="resume", action="store_false",
-                    help="recompute every cell (results still appended to the store)")
-    sw.add_argument("--workers", type=int, default=None,
-                    help="processes for the sweep (default: serial)")
-    sw.add_argument("--chunk", type=int, default=1,
-                    help="cells per worker dispatch chunk (default: 1)")
+    _add_plan_args(sw)
     sw.set_defaults(func=_cmd_sweep)
+
+    sc = sub.add_parser(
+        "scenario",
+        help="run scenario(s) from a JSON file (see repro.scenarios)",
+    )
+    sc.add_argument("file", help="JSON file: one scenario object or a list")
+    sc.add_argument("--key", action="store_true",
+                    help="print the store cell key(s) and exit without running")
+    sc.add_argument("--json", action="store_true",
+                    help="print records as JSON instead of a table")
+    _add_plan_args(sc)
+    sc.set_defaults(func=_cmd_scenario)
+
+    st = sub.add_parser("store", help="inspect an on-disk run store")
+    st_sub = st.add_subparsers(dest="store_command", required=True)
+    st_stats = st_sub.add_parser(
+        "stats", help="shard count, cells, bytes, schema version"
+    )
+    st_stats.add_argument("path", help="run-store directory")
+    st_stats.add_argument("--json", action="store_true",
+                          help="print the stats as JSON")
+    st_stats.set_defaults(func=_cmd_store)
 
     imp = sub.add_parser("impossible", help="run the Theorem 8 construction")
     imp.add_argument("--n", type=int, default=6)

@@ -16,7 +16,24 @@ from ..errors import ConfigurationError
 from ..graphs.port_labeled import PortLabeledGraph
 from ..sim.ids import assign_ids, validate_ids
 
-__all__ = ["Population", "build_population", "make_placement"]
+__all__ = ["Population", "build_population", "make_placement", "round_budget"]
+
+
+def round_budget(bound: int, max_rounds: Optional[int]) -> int:
+    """The driver's simulated-round budget.
+
+    Every solver computes its own termination ``bound``; an optional
+    caller-supplied ``max_rounds`` (a :class:`~repro.scenarios.Scenario`
+    round budget) can only *cap* it — the algorithm is finished by its
+    bound anyway, so a larger budget never buys extra rounds.  A run that
+    exhausts a smaller budget reports ``success=False`` rather than
+    raising.
+    """
+    if max_rounds is None:
+        return bound
+    if max_rounds < 0:
+        raise ConfigurationError(f"round budget must be >= 0, got {max_rounds}")
+    return min(bound, max_rounds)
 
 
 def make_placement(

@@ -35,7 +35,7 @@ from ..mapping.token_mapping import plan_honest_run
 from ..sim.robot import Action, RobotAPI
 from ..sim.scheduler import RunReport, finish_report
 from ..sim.world import World
-from ._setup import Population, build_population
+from ._setup import Population, build_population, round_budget
 from .dispersion_using_map import dispersion_rounds_bound, dispersion_using_map
 from .phases import pairing_phase, pairing_phase_rounds, roster_phase
 
@@ -102,6 +102,7 @@ def _pairing_solver(
     pre_charges,
     theorem: int,
     schedule: str = "paper",
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Common body of Theorems 2 and 3 (pairing tournament from a gather node)."""
     n = graph.n
@@ -118,13 +119,13 @@ def _pairing_solver(
 
         return factory
 
-    max_rounds = (
+    bound = (
         base + pairing_phase_rounds(n, tb, schedule) + dispersion_rounds_bound(n) + 16
     )
     return _run_driver(
-        graph, pop, honest_program_factory, "weak", max_rounds, pre_charges,
-        keep_trace, theorem=theorem, tick_budget=tb, gather_node=gather_node,
-        schedule=schedule,
+        graph, pop, honest_program_factory, "weak", round_budget(bound, max_rounds),
+        pre_charges, keep_trace, theorem=theorem, tick_budget=tb,
+        gather_node=gather_node, schedule=schedule,
     )
 
 
@@ -164,6 +165,7 @@ def _group_solver(
     pre_charges,
     scheme: str,
     theorem: int,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Common body of Theorems 4 and 5 (group map finding from a gather node)."""
     n = graph.n
@@ -180,10 +182,11 @@ def _group_solver(
 
         return factory
 
-    max_rounds = base + group_plan_rounds(scheme, tb) + dispersion_rounds_bound(n) + 16
+    bound = base + group_plan_rounds(scheme, tb) + dispersion_rounds_bound(n) + 16
     return _run_driver(
-        graph, pop, honest_program_factory, "weak", max_rounds, pre_charges,
-        keep_trace, theorem=theorem, tick_budget=tb, gather_node=gather_node,
+        graph, pop, honest_program_factory, "weak", round_budget(bound, max_rounds),
+        pre_charges, keep_trace, theorem=theorem, tick_budget=tb,
+        gather_node=gather_node,
     )
 
 
@@ -201,6 +204,7 @@ def solve_theorem3(
     byz_placement: str = "lowest",
     keep_trace: bool = True,
     schedule: str = "paper",
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Theorem 3: gathered start, ``f ≤ ⌊n/2−1⌋`` weak Byzantine, O(n⁴).
 
@@ -215,7 +219,7 @@ def solve_theorem3(
     _check_common(graph, f, graph.n // 2 - 1, "Theorem 3")
     return _pairing_solver(
         graph, f, adversary, gather_node, seed, byz_placement, keep_trace,
-        pre_charges=[], theorem=3, schedule=schedule,
+        pre_charges=[], theorem=3, schedule=schedule, max_rounds=max_rounds,
     )
 
 
@@ -226,6 +230,7 @@ def solve_theorem2(
     seed: int = 0,
     byz_placement: str = "lowest",
     keep_trace: bool = True,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Theorem 2: arbitrary start, ``f ≤ ⌊n/2−1⌋`` weak, Õ(n⁹).
 
@@ -249,6 +254,7 @@ def solve_theorem2(
     return _pairing_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,
         pre_charges=[("gathering_dpp_weak", charge)], theorem=2,
+        max_rounds=max_rounds,
     )
 
 
@@ -260,6 +266,7 @@ def solve_theorem4(
     seed: int = 0,
     byz_placement: str = "lowest",
     keep_trace: bool = True,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Theorem 4: gathered start, ``f ≤ ⌊n/3−1⌋`` weak Byzantine, O(n³).
 
@@ -270,7 +277,7 @@ def solve_theorem4(
     _check_common(graph, f, graph.n // 3 - 1, "Theorem 4")
     return _group_solver(
         graph, f, adversary, gather_node, seed, byz_placement, keep_trace,
-        pre_charges=[], scheme="three_groups", theorem=4,
+        pre_charges=[], scheme="three_groups", theorem=4, max_rounds=max_rounds,
     )
 
 
@@ -281,6 +288,7 @@ def solve_theorem5(
     seed: int = 0,
     byz_placement: str = "lowest",
     keep_trace: bool = True,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Theorem 5: arbitrary start, ``f ≤ ⌊√n⌋`` weak, Õ(n⁵·√n).
 
@@ -304,7 +312,8 @@ def solve_theorem5(
     charge = hirose_gathering_rounds(graph, pop_preview.ids, f)
     return _group_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,
-        pre_charges=[("gathering_hirose", charge)], scheme="two_groups_majority", theorem=5,
+        pre_charges=[("gathering_hirose", charge)], scheme="two_groups_majority",
+        theorem=5, max_rounds=max_rounds,
     )
 
 

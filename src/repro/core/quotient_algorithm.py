@@ -22,7 +22,7 @@ from ..graphs.quotient import is_quotient_isomorphic
 from ..sim.robot import RobotAPI
 from ..sim.scheduler import RunReport, finish_report
 from ..sim.world import World
-from ._setup import build_population
+from ._setup import build_population, round_budget
 from .dispersion_using_map import dispersion_rounds_bound, dispersion_using_map
 from .find_map import find_map_rounds, private_quotient_map
 
@@ -43,12 +43,16 @@ def solve_theorem1(
     byz_placement: str = "lowest",
     id_seed: Optional[int] = None,
     keep_trace: bool = True,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Run the Theorem 1 algorithm end to end.
 
     Parameters mirror the model: ``graph`` must be in the Theorem 1 class
     (checked), ``f`` of the ``n`` robots are Byzantine (weak model),
     ``start`` is any placement — Theorem 1 needs no gathering.
+    ``max_rounds`` caps the *simulated* phase below the solver's own
+    bound (a scenario round budget); a too-small budget reports
+    ``success=False`` instead of raising.
 
     Returns a :class:`~repro.sim.scheduler.RunReport`; ``rounds_charged``
     carries the Find-Map polynomial, ``rounds_simulated`` the O(n)
@@ -95,7 +99,7 @@ def solve_theorem1(
 
     # Phase 2 — Dispersion-Using-Map: O(n) simulated rounds (+ slack for
     # beyond-tolerance experiments to fail visibly rather than hang).
-    world.run(max_rounds=dispersion_rounds_bound(graph.n) + 4)
+    world.run(max_rounds=round_budget(dispersion_rounds_bound(graph.n) + 4, max_rounds))
     return finish_report(
         world,
         theorem=1,

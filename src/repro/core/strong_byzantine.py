@@ -30,7 +30,7 @@ from ..graphs.port_labeled import PortLabeledGraph
 from ..mapping.group_mapping import build_group_plan, group_phase_program, group_plan_rounds
 from ..sim.robot import Action, RobotAPI
 from ..sim.scheduler import RunReport
-from ._setup import build_population
+from ._setup import build_population, round_budget
 from .general_graphs import _run_driver, tick_budget_for
 from .phases import rank_dispersion_phase, roster_phase
 
@@ -59,6 +59,7 @@ def _strong_solver(
     keep_trace: bool,
     pre_charges,
     theorem: int,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     n = graph.n
     pop = build_population(
@@ -74,10 +75,11 @@ def _strong_solver(
 
         return factory
 
-    max_rounds = base + group_plan_rounds("two_groups_strong", tb) + n + 16
+    bound = base + group_plan_rounds("two_groups_strong", tb) + n + 16
     return _run_driver(
-        graph, pop, honest_program_factory, "strong", max_rounds, pre_charges,
-        keep_trace, theorem=theorem, tick_budget=tb, gather_node=gather_node,
+        graph, pop, honest_program_factory, "strong", round_budget(bound, max_rounds),
+        pre_charges, keep_trace, theorem=theorem, tick_budget=tb,
+        gather_node=gather_node,
     )
 
 
@@ -89,12 +91,13 @@ def solve_theorem6(
     seed: int = 0,
     byz_placement: str = "lowest",
     keep_trace: bool = True,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Theorem 6: gathered start, ``f ≤ ⌊n/4−1⌋`` **strong** Byzantine, O(n³)."""
     _check(graph, f)
     return _strong_solver(
         graph, f, adversary, gather_node, seed, byz_placement, keep_trace,
-        pre_charges=[], theorem=6,
+        pre_charges=[], theorem=6, max_rounds=max_rounds,
     )
 
 
@@ -105,6 +108,7 @@ def solve_theorem7(
     seed: int = 0,
     byz_placement: str = "lowest",
     keep_trace: bool = True,
+    max_rounds: Optional[int] = None,
 ) -> RunReport:
     """Theorem 7: arbitrary start, ``f ≤ ⌊n/4−1⌋`` strong, exponential rounds.
 
@@ -118,6 +122,7 @@ def solve_theorem7(
     return _strong_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,
         pre_charges=[("gathering_dpp_strong", charge)], theorem=7,
+        max_rounds=max_rounds,
     )
 
 

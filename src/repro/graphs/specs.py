@@ -37,6 +37,7 @@ __all__ = [
     "clear_spec_cache",
     "register_family",
     "canonical_spec",
+    "canonicalize_spec",
     "graph_fingerprint",
 ]
 
@@ -109,6 +110,31 @@ def resolve_spec(spec: GraphSpec) -> PortLabeledGraph:
 def clear_spec_cache() -> None:
     """Drop the per-process memo (tests; long-lived servers with churn)."""
     _CACHE.clear()
+
+
+def canonicalize_spec(spec: GraphSpec) -> GraphSpec:
+    """The fully-bound form of a possibly hand-written spec.
+
+    Binds ``spec.args`` against the generator's signature and applies
+    defaults — without building the graph — so a partially-given or
+    reordered spec keys identically to the spec a generator would tag
+    its output with.  Raises :class:`ConfigurationError` for unknown
+    families and unbindable arguments.
+    """
+    if spec.family not in _REGISTRY:
+        from . import generators  # noqa: F401  (import populates the registry)
+    fn = _REGISTRY.get(spec.family)
+    if fn is None:
+        raise ConfigurationError(f"unknown graph family {spec.family!r}")
+    try:
+        bound = inspect.signature(fn).bind(**dict(spec.args))
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"cannot build graph family {spec.family!r} "
+            f"from args {dict(spec.args)!r}: {exc}"
+        )
+    bound.apply_defaults()
+    return GraphSpec(spec.family, tuple(bound.arguments.items()))
 
 
 # --------------------------------------------------------------------- #

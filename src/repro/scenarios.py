@@ -1,0 +1,829 @@
+"""Declarative scenarios: one serializable object from "what to run" to records.
+
+The paper's Table 1 is a grid of ``{algorithm × graph × f × adversary ×
+start}`` cells.  This module makes that grid a first-class, declarative
+API instead of four divergent entry layers:
+
+* :class:`Scenario` — a frozen, canonically-serializable description of
+  **one** solver invocation: algorithm (Table 1 serial or solver name),
+  graph (a :class:`~repro.graphs.specs.GraphSpec` or a concrete graph),
+  Byzantine budget ``f`` (an int or ``"max"`` for the row's bound),
+  adversary strategy + seed, Byzantine placement, and an optional round
+  budget.  ``Scenario.key()`` is *definitionally* the run-store cell key
+  — the scenario that describes a cell addresses its cache entry — and
+  ``to_dict()/from_dict()`` round-trip through JSON without perturbing
+  the key, so a scenario in a file, a scenario in a sweep, and a cell in
+  a store are the same object in three positions.
+
+* :class:`ScenarioGrid` — an explicit scenario list with a declarative
+  builder (:func:`grid`) that expands ``rows × graphs × strategies × f ×
+  seeds`` deterministically and compiles straight into
+  :func:`~repro.analysis.experiments.execute_plan`'s
+  :class:`~repro.analysis.experiments.SweepCell` lists.  The four public
+  sweeps (``run_table1``, ``tolerance_sweep``, ``scaling_sweep``,
+  ``strategy_matrix``) are thin presets over this builder and produce
+  records byte-identical to their historical implementations.
+
+* :class:`ResultSet` — the record-list type every sweep returns.  It IS
+  a ``list`` of flat record dicts (so every existing consumer keeps
+  working) plus the combinators the loose ``List[Dict]`` contract never
+  had: ``filter``, ``group_by``, ``summarize``, ``success_rate``,
+  ``table`` and ``to_json``.
+
+Compilation pipeline
+--------------------
+``Scenario`` → :meth:`Scenario.cell` → ``SweepCell`` → ``execute_plan``
+→ records.  Everything the plan executor learned in PR 1–3 — process
+fan-out with spec-shipped graphs, streaming persistence into a
+:class:`~repro.analysis.store.RunStore`, crash resume, warm-store
+zero-solver-call replays — applies to every scenario unchanged, because
+a scenario *is* a cell with a serialization format.
+
+Default-value canonicalisation keeps old caches warm: ``placement=
+"lowest"`` and ``rounds=None`` (the only values historical sweeps could
+express) are omitted from the hashed key payload, so every key produced
+here is bit-identical to the PR-3 key for the same work.
+
+JSON scenario files
+-------------------
+``repro scenario FILE.json`` accepts one scenario object or a list::
+
+    {"algorithm": 5, "graph": {"family": "random_connected",
+                               "args": {"n": 9, "seed": 0}},
+     "strategy": "squatter", "f": "max", "seed": 0}
+
+which hits exactly the same store cell as the equivalent ``repro sweep``
+invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .analysis.experiments import (
+    DEFAULT_CHUNK,
+    SweepCell,
+    cell_key_of,
+    execute_plan,
+)
+from .analysis.metrics import success_rate as _success_rate
+from .analysis.metrics import summarize as _summarize
+from .analysis.store import RunStore
+from .analysis.tables import infer_columns, render_table
+from .byzantine import STRATEGIES
+from .core.runner import TABLE1, Table1Row, get_row, row_applicable
+from .errors import ConfigurationError
+from .graphs.port_labeled import PortLabeledGraph
+from .graphs.specs import GraphSpec, canonicalize_spec, resolve_spec, spec_of
+
+__all__ = [
+    "KINDS",
+    "PLACEMENTS",
+    "ResultSet",
+    "Scenario",
+    "ScenarioGrid",
+    "grid",
+    "run_scenarios",
+    "scaling_grid",
+    "strategy_matrix_grid",
+    "table1_grid",
+    "tolerance_grid",
+]
+
+#: Record shapes a scenario can produce (see ``SweepCell.kind``).
+KINDS = ("table1", "tolerance", "scaling")
+
+#: Byzantine placements understood by the drivers.
+PLACEMENTS = ("lowest", "highest", "random")
+
+#: ``to_dict`` format version (bumped only if the serialized shape
+#: changes incompatibly; independent of the record-schema version).
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Result sets
+# --------------------------------------------------------------------- #
+
+class ResultSet(List[Dict]):
+    """A list of flat record dicts with aggregation combinators.
+
+    Subclasses ``list`` so the historical ``List[Dict]`` contract —
+    iteration, indexing, ``==`` against plain lists, ``json.dumps`` —
+    holds verbatim; the combinators are additive.  All derived sets
+    preserve record order (the executor's submission order).
+    """
+
+    @property
+    def records(self) -> List[Dict]:
+        """The records as a plain list (an explicit copy)."""
+        return list(self)
+
+    def filter(self, pred: Optional[Callable[[Dict], bool]] = None, **equals) -> "ResultSet":
+        """Records matching a predicate and/or keyword equality tests.
+
+        ``rs.filter(strategy="squatter", success=True)`` keeps records
+        whose fields equal the given values; a callable ``pred`` composes
+        with them (both must hold).
+        """
+        out = ResultSet()
+        for rec in self:
+            if pred is not None and not pred(rec):
+                continue
+            if all(rec.get(k) == v for k, v in equals.items()):
+                out.append(rec)
+        return out
+
+    def group_by(self, key: Union[str, Callable[[Dict], object]]) -> Dict[object, "ResultSet"]:
+        """Partition into ``{key value -> ResultSet}`` (insertion order)."""
+        fn = key if callable(key) else (lambda rec: rec.get(key))
+        groups: Dict[object, ResultSet] = {}
+        for rec in self:
+            groups.setdefault(fn(rec), ResultSet()).append(rec)
+        return groups
+
+    def summarize(self, group_by: str) -> List[Dict]:
+        """Per-group success rate and round statistics
+        (:func:`repro.analysis.metrics.summarize`)."""
+        return _summarize(list(self), group_by)
+
+    def success_rate(self) -> float:
+        """Fraction of successful records (``nan`` when empty — see
+        :func:`repro.analysis.metrics.success_rate`)."""
+        return _success_rate(self)
+
+    def columns(self) -> List[str]:
+        """Ordered union of record keys (first-seen order; the same
+        inference :func:`render_table` applies when given no columns)."""
+        return infer_columns(self)
+
+    def table(self, columns: Optional[Sequence[str]] = None,
+              title: Optional[str] = None) -> str:
+        """Render as an aligned monospace table
+        (:func:`repro.analysis.tables.render_table`)."""
+        return render_table(self, columns=columns, title=title)
+
+    def to_json(self, path: Optional[str] = None, indent: Optional[int] = None) -> str:
+        """The records as a JSON array; optionally also written to ``path``."""
+        text = json.dumps(list(self), indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.write("\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Parse a JSON array of records back into a :class:`ResultSet`."""
+        data = json.loads(text)
+        if not isinstance(data, list):
+            raise ConfigurationError("a ResultSet JSON payload must be an array")
+        return cls(data)
+
+
+# --------------------------------------------------------------------- #
+# Normalisation helpers
+# --------------------------------------------------------------------- #
+
+_THEOREM_NAME = re.compile(r"(?:solve_)?theorem[_ ]?(\d+)$")
+
+
+def _normalize_algorithm(algorithm: Union[int, str, Table1Row]) -> int:
+    """Resolve an algorithm designator to its Table 1 serial.
+
+    Accepts a serial (int or decimal string), a registered solver name
+    (``"solve_theorem4"`` / ``"theorem4"`` — resolved by *theorem*
+    number, which differs from the serial for rows 3–7), or a registry
+    :class:`Table1Row`.
+    """
+    if isinstance(algorithm, Table1Row):
+        # Only the registry's own rows resolve: a hand-built Table1Row
+        # (custom solver) would otherwise be silently *replaced* by the
+        # registry row sharing its serial — wrong solver, wrong cache key.
+        try:
+            registered = get_row(algorithm.serial)
+        except KeyError:
+            registered = None
+        if registered is not algorithm:
+            raise ConfigurationError(
+                f"Table1Row with serial {algorithm.serial} is not the registry's "
+                f"row; scenarios only run registered algorithms (call its "
+                f"solver directly, or use run_table1_row for custom rows)"
+            )
+        algorithm = algorithm.serial
+    if isinstance(algorithm, bool):
+        raise ConfigurationError(f"algorithm must be a serial or name, not {algorithm!r}")
+    if isinstance(algorithm, int):
+        try:
+            get_row(algorithm)
+        except KeyError as exc:
+            raise ConfigurationError(str(exc))
+        return algorithm
+    if isinstance(algorithm, str):
+        token = algorithm.strip().lower()
+        if token.isdigit():
+            return _normalize_algorithm(int(token))
+        match = _THEOREM_NAME.fullmatch(token)
+        if match:
+            theorem = int(match.group(1))
+            for row in TABLE1:
+                if row.theorem == theorem:
+                    return row.serial
+            raise ConfigurationError(f"no Table 1 row implements theorem {theorem}")
+    raise ConfigurationError(
+        f"unknown algorithm {algorithm!r} (use a Table 1 serial 1..7 or a "
+        f"solver name like 'solve_theorem4')"
+    )
+
+
+def _hashable(value):
+    """Recursively convert JSON containers to hashable tuples so a spec
+    deserialized from JSON (lists for tuples) can index the per-process
+    resolution memo."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple((k, _hashable(v)) for k, v in value.items())
+    return value
+
+
+def _graph_from_dict(payload: Dict) -> Union[PortLabeledGraph, GraphSpec]:
+    """Deserialize the ``graph`` slot of a scenario dict.
+
+    ``{"family": ..., "args": {...}}`` resolves through the generator
+    registry (partially-given args pick up the generator's defaults and
+    the result is tagged with its fully-bound spec, so the key is the
+    same as for a directly generated graph).  ``{"port_table": ...}``
+    rebuilds a hand-built graph through the validating constructor.
+    """
+    if "family" in payload:
+        args = payload.get("args", {})
+        if not isinstance(args, dict):
+            raise ConfigurationError("graph spec 'args' must be an object")
+        spec = GraphSpec(payload["family"],
+                         tuple((k, _hashable(v)) for k, v in args.items()))
+        # Canonicalize (bind defaults, fixed order) instead of building:
+        # deserialization stays lazy, bad families/args surface as
+        # ConfigurationError, and the key matches a generator-tagged spec.
+        return canonicalize_spec(spec)
+    if "port_table" in payload:
+        table = payload["port_table"]
+        try:
+            port_map = {
+                int(u): {int(p): (int(v), int(q)) for p, (v, q) in row.items()}
+                for u, row in table.items()
+            }
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ConfigurationError(
+                f"malformed port_table (expected node -> port -> [dest, in_port]): {exc}"
+            )
+        return PortLabeledGraph(port_map)
+    raise ConfigurationError(
+        "a scenario graph must be {'family': ..., 'args': {...}} or "
+        "{'port_table': {...}}"
+    )
+
+
+def _graph_to_dict(graph: Union[PortLabeledGraph, GraphSpec]) -> Dict:
+    """Serialize a scenario's graph slot (inverse of :func:`_graph_from_dict`)."""
+    spec = graph if isinstance(graph, GraphSpec) else spec_of(graph)
+    if spec is not None:
+        return {"family": spec.family, "args": {k: v for k, v in spec.args}}
+    table = graph.port_table()
+    return {
+        "port_table": {
+            str(u): {str(p): list(vq) for p, vq in row.items()}
+            for u, row in table.items()
+        }
+    }
+
+
+# --------------------------------------------------------------------- #
+# Scenario
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative solver invocation; compiles to one sweep cell.
+
+    Parameters
+    ----------
+    algorithm:
+        Table 1 serial (1–7), a solver name (``"solve_theorem4"``), or a
+        registry row; normalised to the serial.
+    graph:
+        A concrete :class:`PortLabeledGraph` or a
+        :class:`~repro.graphs.specs.GraphSpec` recipe.  Generator-built
+        graphs serialize as their spec; hand-built graphs as their port
+        table.
+    strategy:
+        Adversary strategy registry name (serializable scenarios only
+        speak registry names; pass callables to the solvers directly if
+        you need them).
+    f:
+        Byzantine budget: an int, or ``"max"`` for the row's tolerance
+        bound on this graph.
+    kind:
+        Record shape: ``"table1"`` (default), ``"tolerance"``
+        (rejection-aware), or ``"scaling"`` (adds ``m``).
+    placement:
+        Which IDs the adversary corrupts: ``"lowest"`` (default),
+        ``"highest"``, or ``"random"`` (driven by ``seed``).
+    seed:
+        Run seed (drives the adversary streams and random placement).
+    rounds:
+        Optional round budget capping the *simulated* phase below the
+        solver's own bound; an exhausted budget records
+        ``success=False``.
+
+    ``key()`` is definitionally the run-store cell key of the compiled
+    cell, and defaults canonicalise out of the hash — a default-valued
+    scenario addresses exactly the cache entry the legacy sweeps wrote.
+    """
+
+    algorithm: Union[int, str, Table1Row]
+    graph: Union[PortLabeledGraph, GraphSpec]
+    strategy: str = "squatter"
+    f: Union[int, str] = "max"
+    kind: str = "table1"
+    placement: str = "lowest"
+    seed: int = 0
+    rounds: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "algorithm", _normalize_algorithm(self.algorithm))
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown scenario kind {self.kind!r} (choose from {KINDS})"
+            )
+        if isinstance(self.graph, GraphSpec):
+            # A hand-written spec may omit defaults or reorder args; the
+            # canonical (fully-bound, signature-ordered) form keys
+            # identically to the spec a generator tags its output with —
+            # otherwise one cell would split across two store keys.
+            object.__setattr__(self, "graph", canonicalize_spec(self.graph))
+        elif not isinstance(self.graph, PortLabeledGraph):
+            raise ConfigurationError(
+                f"graph must be a PortLabeledGraph or GraphSpec, "
+                f"not {type(self.graph).__name__}"
+            )
+        if not isinstance(self.strategy, str) or self.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r} "
+                f"(choose from: {', '.join(sorted(STRATEGIES))})"
+            )
+        f = self.f
+        if f is None:
+            object.__setattr__(self, "f", "max")
+        elif isinstance(f, str):
+            if f != "max":
+                raise ConfigurationError(f"f must be an int or 'max', got {f!r}")
+        elif isinstance(f, bool) or not isinstance(f, int):
+            raise ConfigurationError(f"f must be an int or 'max', got {f!r}")
+        if self.placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r} (choose from {PLACEMENTS})"
+            )
+        if self.rounds is not None and (
+            isinstance(self.rounds, bool) or not isinstance(self.rounds, int)
+            or self.rounds < 0
+        ):
+            raise ConfigurationError(f"rounds must be a non-negative int, got {self.rounds!r}")
+
+    # -- identity ------------------------------------------------------ #
+
+    def _graph_identity(self):
+        """The graph slot's canonical identity: its (fully-bound) spec
+        when it has one, the graph itself otherwise.  A spec payload and
+        the graph it resolves to describe the same work — and produce
+        the same key — so they must compare equal."""
+        if isinstance(self.graph, GraphSpec):
+            return self.graph
+        spec = spec_of(self.graph)
+        return spec if spec is not None else self.graph
+
+    def _identity(self) -> Tuple:
+        return (self.kind, self.algorithm, self._graph_identity(),
+                self.strategy, self.f, self.placement, self.seed, self.rounds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Scenario):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+    # -- derived views ------------------------------------------------- #
+
+    @property
+    def serial(self) -> int:
+        """The normalised Table 1 serial."""
+        return self.algorithm  # type: ignore[return-value]
+
+    @property
+    def row(self) -> Table1Row:
+        """The registry row this scenario runs."""
+        return get_row(self.serial)
+
+    def resolved_graph(self) -> PortLabeledGraph:
+        """The concrete graph (spec payloads resolve through the
+        per-process memo cache)."""
+        if isinstance(self.graph, GraphSpec):
+            return resolve_spec(self.graph)
+        return self.graph
+
+    def resolved_f(self) -> Optional[int]:
+        """The cell-level ``f``: ``"max"`` stays ``None`` for the table1
+        kind (the historical "row's bound" marker, cacheable as such) and
+        resolves to the row's concrete bound for the other kinds (their
+        executors need an explicit int)."""
+        if self.f == "max":
+            if self.kind == "table1":
+                return None
+            return self.row.f_max(self.resolved_graph())
+        return self.f  # type: ignore[return-value]
+
+    def applicable(self) -> bool:
+        """Whether the row's graph-class restriction admits this graph."""
+        return row_applicable(self.row, self.resolved_graph())
+
+    # -- compilation --------------------------------------------------- #
+
+    def cell(self) -> SweepCell:
+        """Compile to the plan executor's cell (the scenario ↔ cell
+        correspondence everything else rests on)."""
+        return SweepCell(
+            kind=self.kind,
+            serial=self.serial,
+            payload=self.graph,
+            strategy=self.strategy,
+            seed=self.seed,
+            f=self.resolved_f(),
+            placement=self.placement,
+            rounds=self.rounds,
+        )
+
+    def key(self) -> str:
+        """The content-addressed run-store key of the compiled cell.
+
+        Definitionally :func:`~repro.analysis.experiments.cell_key_of` of
+        :meth:`cell` — a scenario *names* its cache entry.
+        """
+        return cell_key_of(self.cell())
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        store: Optional[RunStore] = None,
+        resume: bool = True,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> ResultSet:
+        """Execute this scenario through the plan executor (so stores,
+        resume, and workers behave exactly as in a sweep)."""
+        return run_scenarios([self], workers=workers, store=store,
+                             resume=resume, chunk=chunk)
+
+    # -- serialization ------------------------------------------------- #
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON-safe form; ``from_dict`` inverts it and the
+        round trip is a fixed point of :meth:`key`."""
+        out: Dict = {
+            "version": FORMAT_VERSION,
+            "kind": self.kind,
+            "algorithm": self.serial,
+            "graph": _graph_to_dict(self.graph),
+            "strategy": self.strategy,
+            "f": self.f,
+            "placement": self.placement,
+            "seed": self.seed,
+        }
+        if self.rounds is not None:
+            out["rounds"] = self.rounds
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Scenario":
+        """Build a scenario from its dict form (tolerant of omitted
+        defaults, so hand-written JSON files stay short)."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError("a scenario must be a JSON object")
+        version = payload.get("version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario format version {version!r}"
+            )
+        unknown = set(payload) - {
+            "version", "kind", "algorithm", "graph", "strategy", "f",
+            "placement", "seed", "rounds",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario field(s): {', '.join(sorted(unknown))}"
+            )
+        if "algorithm" not in payload or "graph" not in payload:
+            raise ConfigurationError("a scenario needs 'algorithm' and 'graph'")
+        return cls(
+            algorithm=payload["algorithm"],
+            graph=_graph_from_dict(payload["graph"]),
+            strategy=payload.get("strategy", "squatter"),
+            f=payload.get("f", "max"),
+            kind=payload.get("kind", "table1"),
+            placement=payload.get("placement", "lowest"),
+            seed=payload.get("seed", 0),
+            rounds=payload.get("rounds"),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON text (sorted keys, so equal scenarios serialize
+        byte-identically)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI output)."""
+        f = self.f if isinstance(self.f, int) else "max"
+        extras = ""
+        if self.placement != "lowest":
+            extras += f", placement={self.placement}"
+        if self.rounds is not None:
+            extras += f", rounds<={self.rounds}"
+        g = self.graph if isinstance(self.graph, GraphSpec) else spec_of(self.graph)
+        graph_desc = (
+            f"{g.family}({', '.join(f'{k}={v}' for k, v in g.args)})"
+            if g is not None else f"hand-built(n={self.resolved_graph().n})"
+        )
+        return (
+            f"row {self.serial} on {graph_desc}, f={f}, "
+            f"strategy={self.strategy}, seed={self.seed}, kind={self.kind}{extras}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Grids
+# --------------------------------------------------------------------- #
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    chunk: int = DEFAULT_CHUNK,
+) -> ResultSet:
+    """Compile scenarios to cells, execute the plan, flatten the records.
+
+    The shared engine behind :meth:`Scenario.run` and
+    :meth:`ScenarioGrid.run`; inherits every executor guarantee (order
+    determinism, streaming store writes, warm-store zero-solver-call
+    replays, spec-shipped parallel dispatch).
+    """
+    cells = [s.cell() for s in scenarios]
+    lists = execute_plan(cells, workers=workers, store=store,
+                         resume=resume, chunk=chunk)
+    return ResultSet(rec for recs in lists for rec in recs)
+
+
+def _axis(value, name: str) -> Tuple:
+    """Normalise one grid axis: scalars (including strings, graphs and
+    specs) wrap into a 1-tuple; sequences become tuples.
+
+    An explicitly empty axis raises: a zero-cell grid silently passes
+    every ``all(r["success"] ...)`` check downstream, which is exactly
+    the vacuous-success bug class the metrics layer already guards
+    against.
+    """
+    if isinstance(value, (str, int, PortLabeledGraph, GraphSpec, Table1Row)):
+        return (value,)
+    try:
+        out = tuple(value)
+    except TypeError:
+        raise ConfigurationError(f"grid axis {name!r} must be a value or sequence")
+    if not out:
+        raise ConfigurationError(
+            f"grid axis {name!r} is empty — a grid with no cells would "
+            f"vacuously succeed"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """An explicit, ordered scenario list (what a sweep *is*).
+
+    Construct directly from any scenario sequence, or declaratively with
+    :func:`grid`.  A grid is itself serializable (``to_dicts``), compiles
+    to the executor's cell list (``cells``), names its store entries
+    (``keys``), and runs as one plan (``run``).
+    """
+
+    scenarios: Tuple[Scenario, ...]
+
+    def __init__(self, scenarios: Sequence[Scenario]):
+        scenarios = tuple(scenarios)
+        for s in scenarios:
+            if not isinstance(s, Scenario):
+                raise ConfigurationError(
+                    f"ScenarioGrid holds Scenario values, not {type(s).__name__}"
+                )
+        object.__setattr__(self, "scenarios", scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __getitem__(self, index):
+        got = self.scenarios[index]
+        return ScenarioGrid(got) if isinstance(index, slice) else got
+
+    def filter(self, pred: Callable[[Scenario], bool]) -> "ScenarioGrid":
+        """The sub-grid of scenarios satisfying ``pred`` (order kept)."""
+        return ScenarioGrid([s for s in self.scenarios if pred(s)])
+
+    def applicable(self) -> "ScenarioGrid":
+        """Drop scenarios whose row does not admit their graph.
+
+        Applicability is memoised per (serial, canonical graph identity):
+        the row-1 quotient-isomorphism check is an O(n·m) refinement, and
+        a grid crossing strategies/f/seeds repeats each (row, graph) pair
+        many times.  The canonical identity (spec, or the graph itself)
+        hits across the fresh spec objects each Scenario holds, where an
+        ``id()`` key would not.
+        """
+        memo: Dict[Tuple, bool] = {}
+
+        def ok(s: Scenario) -> bool:
+            key = (s.serial, s._graph_identity())
+            if key not in memo:
+                memo[key] = s.applicable()
+            return memo[key]
+
+        return self.filter(ok)
+
+    def cells(self) -> List[SweepCell]:
+        """The compiled plan (one cell per scenario, same order)."""
+        return [s.cell() for s in self.scenarios]
+
+    def keys(self) -> List[str]:
+        """The run-store keys this grid reads/writes, in order."""
+        return [s.key() for s in self.scenarios]
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        store: Optional[RunStore] = None,
+        resume: bool = True,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> ResultSet:
+        """Execute the whole grid as one plan (see :func:`run_scenarios`)."""
+        return run_scenarios(self.scenarios, workers=workers, store=store,
+                             resume=resume, chunk=chunk)
+
+    def to_dicts(self) -> List[Dict]:
+        """JSON-safe form: the scenario dicts, in order."""
+        return [s.to_dict() for s in self.scenarios]
+
+    @classmethod
+    def from_dicts(cls, payload: Sequence[Dict]) -> "ScenarioGrid":
+        return cls([Scenario.from_dict(p) for p in payload])
+
+
+def grid(
+    rows: Optional[Sequence[Union[int, str, Table1Row]]] = None,
+    graphs: Union[PortLabeledGraph, GraphSpec, Sequence] = (),
+    strategies: Union[str, Sequence[str]] = ("squatter",),
+    f: Union[int, str, Sequence] = "max",
+    seeds: Union[int, Sequence[int]] = (0,),
+    kind: str = "table1",
+    placement: str = "lowest",
+    rounds: Optional[int] = None,
+    applicable_only: bool = True,
+) -> ScenarioGrid:
+    """Declaratively expand a scenario grid.
+
+    Axes (``rows``, ``graphs``, ``strategies``, ``f``, ``seeds``) accept
+    a scalar or a sequence; ``rows=None`` means every Table 1 row.
+    Expansion order is fixed and documented: **rows, then graphs, then
+    strategies, then f, then seeds** (rows outermost, seeds innermost) —
+    the order every legacy sweep used, so grid presets replay their
+    record streams exactly.  ``applicable_only`` (default) drops
+    scenarios whose row does not admit their graph, mirroring
+    ``run_table1``/``strategy_matrix``.
+    """
+    row_axis = tuple(r.serial for r in TABLE1) if rows is None else _axis(rows, "rows")
+    graph_axis = _axis(graphs, "graphs")
+    strategy_axis = _axis(strategies, "strategies")
+    f_axis = _axis("max" if f is None else f, "f")
+    seed_axis = _axis(seeds, "seeds")
+    scenarios = [
+        Scenario(
+            algorithm=row, graph=graph, strategy=strategy, f=f_value,
+            kind=kind, placement=placement, seed=seed, rounds=rounds,
+        )
+        for row in row_axis
+        for graph in graph_axis
+        for strategy in strategy_axis
+        for f_value in f_axis
+        for seed in seed_axis
+    ]
+    out = ScenarioGrid(scenarios)
+    return out.applicable() if applicable_only else out
+
+
+# --------------------------------------------------------------------- #
+# Presets: the four legacy sweeps as grids
+# --------------------------------------------------------------------- #
+
+def table1_grid(
+    graph: PortLabeledGraph,
+    strategies: Sequence[str],
+    seed: int = 0,
+    serials: Optional[Sequence[int]] = None,
+) -> ScenarioGrid:
+    """``run_table1`` as a grid: every applicable row × strategy at the
+    row's tolerance bound.
+
+    Unlike a direct :func:`grid` call (which rejects empty axes), the
+    preset keeps the legacy sweep contract: a serial filter matching
+    nothing yields an empty grid, and the CLI reports "nothing ran".
+    """
+    strategies = list(strategies)
+    serials = None if serials is None else list(serials)
+    rows = [
+        row.serial for row in TABLE1
+        if serials is None or row.serial in serials
+    ]
+    if not rows or not strategies:
+        return ScenarioGrid([])
+    return grid(rows=rows, graphs=graph, strategies=strategies,
+                f="max", seeds=seed, kind="table1")
+
+
+def tolerance_grid(
+    row: Union[int, str, Table1Row],
+    graph: PortLabeledGraph,
+    f_values: Sequence[int],
+    strategy: str,
+    seed: int = 0,
+) -> ScenarioGrid:
+    """``tolerance_sweep`` as a grid: one row, one strategy, ``f``
+    varying (out-of-bound values run and are *recorded* as rejected, so
+    applicability is deliberately not filtered).  An empty ``f_values``
+    keeps the legacy contract: empty grid, empty records."""
+    f_values = list(f_values)  # may be an iterator; the guard below must not eat it
+    if not f_values:
+        return ScenarioGrid([])
+    return grid(rows=row, graphs=graph, strategies=strategy,
+                f=f_values, seeds=seed, kind="tolerance",
+                applicable_only=False)
+
+
+def scaling_grid(
+    row: Union[int, str, Table1Row],
+    graphs: Sequence[PortLabeledGraph],
+    strategy: str,
+    seed: int = 0,
+    f_fraction_of_max: float = 1.0,
+) -> ScenarioGrid:
+    """``scaling_sweep`` as a grid: one scenario per applicable graph at
+    a fixed fraction of the row's bound (``f`` is *zipped* with the
+    graphs, not crossed — the one non-product sweep)."""
+    serial = _normalize_algorithm(row)
+    table_row = get_row(serial)
+    applicable = [g for g in graphs if row_applicable(table_row, g)]
+    return ScenarioGrid([
+        Scenario(
+            algorithm=serial, graph=g,
+            f=int(table_row.f_max(g) * f_fraction_of_max),
+            strategy=strategy, seed=seed, kind="scaling",
+        )
+        for g in applicable
+    ])
+
+
+def strategy_matrix_grid(
+    rows: Sequence[Union[int, str, Table1Row]],
+    graph: PortLabeledGraph,
+    strategies: Sequence[str],
+    seed: int = 0,
+    applicable_only: bool = True,
+) -> ScenarioGrid:
+    """``strategy_matrix`` as a grid: given rows × strategies at each
+    row's bound.  Empty rows/strategies keep the legacy contract (empty
+    grid) rather than raising as a direct :func:`grid` call would.
+    Callers that already filtered applicability (the legacy shim) pass
+    ``applicable_only=False`` to skip the second pass."""
+    rows, strategies = list(rows), list(strategies)  # may be iterators
+    if not rows or not strategies:
+        return ScenarioGrid([])
+    return grid(rows=rows, graphs=graph, strategies=strategies,
+                f="max", seeds=seed, kind="table1",
+                applicable_only=applicable_only)
