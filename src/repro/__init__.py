@@ -33,8 +33,13 @@ A :class:`~repro.scenarios.Scenario` is serializable (``to_dict`` /
 ``from_dict``; ``repro scenario file.json`` on the CLI) and its
 ``key()`` is the run-store cache key of the work it describes.
 
-See README.md for the architecture tour, DESIGN.md for the system
-inventory, and EXPERIMENTS.md for the Table 1 reproduction.
+Quick start — the activation-scheduler axis (who acts each round)::
+
+    records = Scenario(algorithm=5, graph=g, strategy="squatter",
+                       scheduler="semi_synchronous(p=0.9)").run()
+
+See README.md for the architecture tour and EXPERIMENTS.md for the full
+scenario-axis reference (including the cache-compatibility rule).
 """
 
 from .byzantine import (
@@ -66,10 +71,25 @@ from .errors import (
     ReproError,
     SimulationError,
 )
-from .scenarios import ResultSet, Scenario, ScenarioGrid, grid, run_scenarios
-from .sim import RunReport, World
+from .scenarios import (
+    ResultSet,
+    Scenario,
+    ScenarioGrid,
+    grid,
+    run_scenarios,
+    scheduler_matrix_grid,
+)
+from .sim import (
+    SCHEDULERS,
+    RunReport,
+    SchedulerSpec,
+    World,
+    build_scheduler,
+    canonical_scheduler,
+    parse_scheduler,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -80,6 +100,12 @@ __all__ = [
     "ResultSet",
     "grid",
     "run_scenarios",
+    "scheduler_matrix_grid",
+    "SCHEDULERS",
+    "SchedulerSpec",
+    "build_scheduler",
+    "canonical_scheduler",
+    "parse_scheduler",
     "Adversary",
     "STRATEGIES",
     "WEAK_STRATEGIES",

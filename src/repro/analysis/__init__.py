@@ -15,6 +15,7 @@ from .experiments import (
     run_table1,
     run_table1_row,
     scaling_sweep,
+    scheduler_matrix,
     strategy_matrix,
     tolerance_sweep,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "run_table1_row",
     "tolerance_sweep",
     "scaling_sweep",
+    "scheduler_matrix",
     "strategy_matrix",
     "run_benchmark",
     "run_graph_benchmark",

@@ -74,6 +74,7 @@ __all__ = [
     "run_table1",
     "tolerance_sweep",
     "scaling_sweep",
+    "scheduler_matrix",
     "strategy_matrix",
 ]
 
@@ -84,15 +85,19 @@ __all__ = [
 DEFAULT_CHUNK = 1
 
 
-def _solver_extras(placement: str, max_rounds: Optional[int]) -> Dict:
+def _solver_extras(
+    placement: str, max_rounds: Optional[int], scheduler: str = "synchronous"
+) -> Dict:
     """Non-default solver kwargs only: the default call stays bit-for-bit
     the historical one, and hand-built rows whose solvers predate the
-    ``byz_placement``/``max_rounds`` kwargs keep working."""
+    ``byz_placement``/``max_rounds``/``scheduler`` kwargs keep working."""
     extras: Dict = {}
     if placement != "lowest":
         extras["byz_placement"] = placement
     if max_rounds is not None:
         extras["max_rounds"] = max_rounds
+    if scheduler != "synchronous":
+        extras["scheduler"] = scheduler
     return extras
 
 
@@ -104,9 +109,10 @@ def run_table1_row(
     f: Optional[int] = None,
     placement: str = "lowest",
     max_rounds: Optional[int] = None,
+    scheduler: str = "synchronous",
 ) -> List[Dict]:
     """Run one Table 1 row at its tolerance bound under several strategies."""
-    extras = _solver_extras(placement, max_rounds)
+    extras = _solver_extras(placement, max_rounds, scheduler)
     f_used = row.f_max(graph) if f is None else f
     records = []
     for strat in strategies:
@@ -195,11 +201,14 @@ class SweepCell:
     strategy: str
     seed: int
     f: Optional[int] = None
-    #: Byzantine placement ("lowest"/"highest"/"random") and an optional
-    #: round budget.  Defaults reproduce the historical cells exactly and
-    #: are omitted from the content key, so old stores stay warm.
+    #: Byzantine placement ("lowest"/"highest"/"random"), an optional
+    #: round budget, and the activation scheduler's canonical spec (see
+    #: :mod:`repro.sim.schedulers`).  Defaults reproduce the historical
+    #: cells exactly and are omitted from the content key, so old stores
+    #: stay warm.
     placement: str = "lowest"
     rounds: Optional[int] = None
+    scheduler: str = "synchronous"
 
 
 def _payload_fingerprint(payload: GraphPayload):
@@ -226,6 +235,7 @@ def cell_key_of(cell: SweepCell, fingerprint=None) -> str:
         seed=cell.seed,
         placement=cell.placement,
         rounds=cell.rounds,
+        scheduler=cell.scheduler,
     )
 
 
@@ -238,12 +248,14 @@ def _cell_records(cell: SweepCell) -> List[Dict]:
         return run_table1_row(
             row, graph, [cell.strategy], seed=cell.seed, f=cell.f,
             placement=cell.placement, max_rounds=cell.rounds,
+            scheduler=cell.scheduler,
         )
     if cell.kind == "tolerance":
         return [
             _tolerance_record(
                 row, graph, cell.f, cell.strategy, cell.seed,
                 placement=cell.placement, max_rounds=cell.rounds,
+                scheduler=cell.scheduler,
             )
         ]
     if cell.kind == "scaling":
@@ -251,6 +263,7 @@ def _cell_records(cell: SweepCell) -> List[Dict]:
             _scaling_record(
                 row, graph, cell.f, cell.strategy, cell.seed,
                 placement=cell.placement, max_rounds=cell.rounds,
+                scheduler=cell.scheduler,
             )
         ]
     raise ValueError(f"unknown cell kind {cell.kind!r}")
@@ -337,12 +350,13 @@ def execute_plan(
 def _scaling_record(
     row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int,
     placement: str = "lowest", max_rounds: Optional[int] = None,
+    scheduler: str = "synchronous",
 ) -> Dict:
     """One scaling-sweep record (shared by the serial and worker paths so
     the parallel-equals-serial guarantee cannot drift)."""
     report = row.solver(
         graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed,
-        **_solver_extras(placement, max_rounds),
+        **_solver_extras(placement, max_rounds, scheduler),
     )
     return record_from_report(
         report, serial=row.serial, theorem=row.theorem, f=f,
@@ -354,6 +368,7 @@ def _scaling_record(
 def _tolerance_record(
     row: Table1Row, graph: PortLabeledGraph, f: int, strategy: str, seed: int,
     placement: str = "lowest", max_rounds: Optional[int] = None,
+    scheduler: str = "synchronous",
 ) -> Dict:
     """Run one ``f`` value, mapping in-bound driver rejections to a
     ``rejected`` record.  Only the repro error hierarchy is treated as a
@@ -362,19 +377,27 @@ def _tolerance_record(
     try:
         report = row.solver(
             graph, f=f, adversary=Adversary(strategy, seed=seed), seed=seed,
-            **_solver_extras(placement, max_rounds),
+            **_solver_extras(placement, max_rounds, scheduler),
         )
         return record_from_report(
             report, serial=row.serial, theorem=row.theorem, f=f,
             n=graph.n, strategy=strategy, rejected=False,
         )
     except ReproError as exc:  # driver enforces the theorem's bound
-        return dict(
+        rec = dict(
             serial=row.serial, theorem=row.theorem, f=f, n=graph.n,
             strategy=strategy, rejected=True, success=False,
             rounds_simulated=0, rounds_charged=0, rounds_total=0,
             n_violations=0, reason=type(exc).__name__,
         )
+        if scheduler != "synchronous":
+            # Keep the scheduler axis on rejections too (zero activations
+            # were granted), so per-scheduler summaries group correctly;
+            # synchronous rejections stay byte-identical to the legacy
+            # record shape.
+            rec["scheduler"] = scheduler
+            rec["activations"] = 0
+        return rec
 
 
 # --------------------------------------------------------------------- #
@@ -473,6 +496,36 @@ def scaling_sweep(
         )
     return scaling_grid(
         serial, graphs, strategy, seed=seed, f_fraction_of_max=f_fraction_of_max
+    ).run(workers=workers, store=store, resume=resume, chunk=chunk)
+
+
+def scheduler_matrix(
+    rows: Sequence[Union[int, str, Table1Row]],
+    graph: PortLabeledGraph,
+    schedulers: Sequence[str],
+    strategy: str = "squatter",
+    seed: int = 0,
+    workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    chunk: int = DEFAULT_CHUNK,
+) -> List[Dict]:
+    """Algorithms × activation schedulers at each row's tolerance bound.
+
+    The timing analogue of :func:`strategy_matrix`: one adversary
+    strategy, the scheduler axis varying (canonical spec strings — see
+    :mod:`repro.sim.schedulers`).  ``synchronous`` cells share their
+    store entries with every legacy sweep; non-default schedulers land
+    in distinct cells.  Summarize the result grouped by scheduler::
+
+        records = scheduler_matrix([4, 5], g,
+                                   ["synchronous", "semi_synchronous(p=0.5)"])
+        records.summarize("scheduler", missing="synchronous")
+    """
+    from ..scenarios import scheduler_matrix_grid
+
+    return scheduler_matrix_grid(
+        rows, graph, schedulers, strategy=strategy, seed=seed
     ).run(workers=workers, store=store, resume=resume, chunk=chunk)
 
 

@@ -16,7 +16,15 @@ __all__ = ["record_from_report", "success_rate", "summarize"]
 
 
 def record_from_report(report: RunReport, **config) -> Dict:
-    """Flatten a :class:`RunReport` plus its configuration into a record."""
+    """Flatten a :class:`RunReport` plus its configuration into a record.
+
+    A run under a non-default activation scheduler (its canonical spec
+    sits in ``report.meta["scheduler"]``) additionally records the
+    ``scheduler`` spec and the ``activations`` tally.  Synchronous-
+    default records deliberately carry **neither** key: their byte shape
+    — and therefore every cached store cell a legacy sweep wrote — must
+    stay exactly the historical one.
+    """
     rec = dict(config)
     rec.update(
         success=report.success,
@@ -28,6 +36,9 @@ def record_from_report(report: RunReport, **config) -> Dict:
     for key in ("theorem", "f", "n", "strategy"):
         if key in report.meta and key not in rec:
             rec[key] = report.meta[key]
+    if "scheduler" in report.meta:
+        rec.setdefault("scheduler", report.meta["scheduler"])
+        rec.setdefault("activations", report.activations)
     return rec
 
 
@@ -45,19 +56,24 @@ def success_rate(records: Iterable[Dict]) -> float:
     return sum(1 for r in records if r.get("success")) / len(records)
 
 
-def summarize(records: List[Dict], group_by: str) -> List[Dict]:
+def summarize(records: List[Dict], group_by: str, missing=None) -> List[Dict]:
     """Group records by a key; report success rate and round statistics.
 
     An empty record list summarises to an empty list (explicitly —
     never a vacuous all-success row; see :func:`success_rate`).  Groups
     are always non-empty by construction, so per-group rates are never
     ``nan``.
+
+    ``missing`` labels records that lack the key entirely.  Default-
+    valued axes omit their key from records for cache compatibility, so
+    e.g. a scheduler matrix groups cleanly with
+    ``summarize(records, "scheduler", missing="synchronous")``.
     """
     if not records:
         return []
     groups: Dict = {}
     for r in records:
-        groups.setdefault(r.get(group_by), []).append(r)
+        groups.setdefault(r.get(group_by, missing), []).append(r)
     out = []
     for key in sorted(groups, key=lambda k: (str(type(k)), k)):
         rs = groups[key]

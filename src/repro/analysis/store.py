@@ -89,6 +89,7 @@ def cell_key(
     schema_version: int = SCHEMA_VERSION,
     placement: str = "lowest",
     rounds: Optional[int] = None,
+    scheduler: str = "synchronous",
 ) -> str:
     """Canonical content hash identifying one sweep cell.
 
@@ -99,10 +100,13 @@ def cell_key(
     Two cells collide exactly when they would run the identical solver
     invocation under the identical record schema.
 
-    ``placement`` (Byzantine placement) and ``rounds`` (round budget)
-    join the hashed payload **only at non-default values**: a default
-    cell's key is bit-identical to the PR-3 key, so existing stores stay
-    warm across the Scenario API introduction.
+    ``placement`` (Byzantine placement), ``rounds`` (round budget), and
+    ``scheduler`` (canonical activation-scheduler spec, see
+    :mod:`repro.sim.schedulers`) join the hashed payload **only at
+    non-default values**: a default cell's key is bit-identical to the
+    PR-3 key, so existing stores stay warm as new axes are introduced —
+    and no schema bump is needed when an axis arrives, because default
+    records are unchanged and non-default cells cannot alias old keys.
     """
     config = {
         "kind": kind,
@@ -117,6 +121,8 @@ def cell_key(
         config["placement"] = placement
     if rounds is not None:
         config["rounds"] = rounds
+    if scheduler != "synchronous":
+        config["scheduler"] = scheduler
     payload = _canonical_json(config)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

@@ -74,7 +74,13 @@ class Adversary:
 
     @property
     def seed(self) -> int:
-        """The adversary's RNG seed (also drives Byzantine placement)."""
+        """The adversary's RNG seed.  Also drives Byzantine placement and
+        the activation-scheduler stream (solvers pass it to
+        ``World(scheduler_seed=...)``, which derives a dedicated child
+        stream via :func:`repro.sim.schedulers.scheduler_rng`): timing,
+        like placement, is adversary power, so one seed pins the whole
+        adversarial environment without perturbing the per-robot
+        strategy streams."""
         return self._seed
 
     def describe(self) -> str:

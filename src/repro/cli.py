@@ -9,7 +9,7 @@ Commands
 ``scenario``     run scenario(s) from a JSON file (the declarative API)
 ``store``        inspect an on-disk run store (``store stats DIR``)
 ``impossible``   run the Theorem 8 construction
-``strategies``   list the adversary zoo
+``strategies``   list the adversary zoo and the activation schedulers
 ``bench``        microbenchmarks: engine and/or graph substrate
                  (``--suite engine|graphs|all``)
 
@@ -26,12 +26,20 @@ with zero solver calls.
 the serialized form of :class:`repro.scenarios.Scenario` — and hits
 exactly the same store cells as the equivalent sweep.
 
+``run`` and ``sweep`` take ``--scheduler`` activation-model specs
+(:mod:`repro.sim.schedulers`): ``sweep`` accepts a comma-separated list
+and crosses it into the grid, printing a per-scheduler summary; the
+``synchronous`` default is byte-identical — records and store cells —
+to the historical sweep.
+
 Examples::
 
     python -m repro table1 --n 10 --strategy ghost_squatter --workers 4
     python -m repro run --row 4 --n 9 --f 3 --strategy squatter --store runs/
     python -m repro tolerance --row 5 --n 9 --store runs/ --workers 2
     python -m repro sweep --n 9 --strategies squatter,idle --store runs/ --workers 4
+    python -m repro sweep --n 9 --scheduler 'synchronous,adversarial(window=4)'
+    python -m repro run --row 4 --n 9 --scheduler 'semi_synchronous(p=0.5)' --detail
     python -m repro scenario experiment.json --store runs/
     python -m repro scenario experiment.json --key   # print cell keys only
     python -m repro store stats runs/
@@ -59,10 +67,11 @@ from .analysis.store import RunStore
 from .analysis.benchmark import format_report, write_bench_json
 from .analysis.graphbench import format_graph_report
 from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
-from .core import demonstrate_impossibility, get_row
+from .core import TABLE1, demonstrate_impossibility, get_row
 from .errors import ReproError
 from .graphs import is_quotient_isomorphic, random_connected
-from .scenarios import Scenario, ScenarioGrid, run_scenarios
+from .scenarios import ResultSet, Scenario, ScenarioGrid, grid, run_scenarios
+from .sim.schedulers import SCHEDULERS, parse_scheduler
 
 __all__ = ["main"]
 
@@ -125,15 +134,22 @@ def _cmd_table1(args) -> int:
 
 def _cmd_run(args) -> int:
     row = get_row(args.row)
+    try:
+        scheduler = parse_scheduler(args.scheduler).canonical()
+    except ReproError as exc:
+        raise SystemExit(f"bad --scheduler value: {exc}")
     graph = _sample_graph(args.n, require_view_distinct=(args.row == 1), seed=args.seed)
     if args.detail:
         # Direct solver call: full RunReport diagnostics (per-phase round
         # breakdown, violation messages) that the flat record pipeline
         # cannot carry.  Uncached and serial by design.
         f = row.f_max(graph) if args.f is None else args.f
+        extras = {}
+        if scheduler != "synchronous":
+            extras["scheduler"] = scheduler
         report = row.solver(
             graph, f=f, adversary=Adversary(args.strategy, seed=args.seed),
-            seed=args.seed,
+            seed=args.seed, **extras,
         )
         print(f"row {row.serial} (Theorem {row.theorem}), n={graph.n}, f={f}, "
               f"strategy={args.strategy}")
@@ -148,6 +164,7 @@ def _cmd_run(args) -> int:
     scenario = Scenario(
         algorithm=args.row, graph=graph, strategy=args.strategy,
         f="max" if args.f is None else args.f, seed=args.seed,
+        scheduler=scheduler,
     )
     store = _store_of(args)
     records = scenario.run(
@@ -188,6 +205,28 @@ def _cmd_tolerance(args) -> int:
     return 0
 
 
+def _parse_schedulers(text: str) -> List[str]:
+    """Canonicalise a comma-separated ``--scheduler`` value (parens keep
+    their commas: ``crash_recovery(down=2,up=6),synchronous`` is two)."""
+    specs, depth, token = [], 0, []
+    for ch in text:
+        if ch == "," and depth == 0:
+            specs.append("".join(token))
+            token = []
+            continue
+        depth += ch == "("
+        depth -= ch == ")"
+        token.append(ch)
+    specs.append("".join(token))
+    specs = [s.strip() for s in specs if s.strip()]
+    if not specs:
+        raise SystemExit("--scheduler needs at least one spec")
+    try:
+        return [parse_scheduler(s).canonical() for s in specs]
+    except ReproError as exc:
+        raise SystemExit(f"bad --scheduler value: {exc}")
+
+
 def _cmd_sweep(args) -> int:
     strategies = [s for s in (p.strip() for p in args.strategies.split(",")) if s]
     unknown = sorted(set(strategies) - set(STRATEGIES))
@@ -196,39 +235,71 @@ def _cmd_sweep(args) -> int:
             f"unknown strategies: {', '.join(unknown) or '(none given)'} "
             f"(choose from: {', '.join(sorted(STRATEGIES))})"
         )
+    schedulers = _parse_schedulers(args.scheduler)
     serials = (
         [int(s) for s in args.serials.split(",") if s.strip()]
         if args.serials else None
     )
     graph = _sample_graph(args.n, require_view_distinct=True, seed=args.seed)
     store = _store_of(args)
-    records = run_table1(
-        graph,
-        strategies=strategies,
-        seed=args.seed,
-        serials=serials,
-        workers=args.workers,
-        store=store,
-        resume=args.resume,
-        chunk=args.chunk,
-    )
+    if schedulers == ["synchronous"]:
+        # The legacy sweep verbatim: identical cells, identical store keys.
+        records = run_table1(
+            graph,
+            strategies=strategies,
+            seed=args.seed,
+            serials=serials,
+            workers=args.workers,
+            store=store,
+            resume=args.resume,
+            chunk=args.chunk,
+        )
+    else:
+        # Same (row, strategy) plan with the scheduler axis crossed in;
+        # the rows keep TABLE1 order exactly like the legacy preset.
+        rows = [
+            row.serial for row in TABLE1
+            if serials is None or row.serial in serials
+        ]
+        records = (
+            grid(rows=rows, graphs=graph, strategies=strategies,
+                 f="max", schedulers=schedulers, seeds=args.seed).run(
+                workers=args.workers, store=store, resume=args.resume,
+                chunk=args.chunk,
+            )
+            if rows
+            else ResultSet()
+        )
     if not records:
         print(
             f"no applicable (row x strategy) cells for n={graph.n}, "
             f"serials={args.serials or 'all'} — nothing ran"
         )
         return 1
+    columns = [
+        "serial", "theorem", "strategy", "f", "success",
+        "rounds_simulated", "rounds_charged", "paper_bound",
+    ]
+    if schedulers != ["synchronous"]:
+        # Non-default runs tag their records; synchronous cells omit the
+        # key for cache compatibility and group under the default label.
+        columns[3:3] = ["scheduler", "activations"]
     print(
         render_table(
             records,
-            columns=[
-                "serial", "theorem", "strategy", "f", "success",
-                "rounds_simulated", "rounds_charged", "paper_bound",
-            ],
+            columns=columns,
             title=f"Sweep (n={graph.n}, m={graph.m}, "
                   f"strategies={','.join(strategies)})",
         )
     )
+    if len(schedulers) > 1:
+        print()
+        print(
+            render_table(
+                records.summarize("scheduler", missing="synchronous"),
+                title="By scheduler",
+            )
+        )
     _print_store_traffic(store)
     return 0 if all(r["success"] for r in records) else 1
 
@@ -309,6 +380,11 @@ def _cmd_strategies(args) -> int:
     print("weak-model strategies  :", ", ".join(WEAK_STRATEGIES))
     print("strong-model additions :",
           ", ".join(s for s in STRONG_STRATEGIES if s not in WEAK_STRATEGIES))
+    specs = [
+        name if not sig else f"{name}({', '.join(param for param, _ in sig)})"
+        for name, (sig, _) in sorted(SCHEDULERS.items())
+    ]
+    print("activation schedulers  :", ", ".join(specs))
     return 0
 
 
@@ -384,19 +460,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    t1 = sub.add_parser(
+        "table1", help="regenerate the paper's Table 1",
+        epilog="example: python -m repro table1 --n 10 --strategy ghost_squatter --workers 4",
+    )
     t1.add_argument("--n", type=int, default=9)
     t1.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
     t1.add_argument("--seed", type=int, default=0)
     _add_plan_args(t1)
     t1.set_defaults(func=_cmd_table1)
 
-    run = sub.add_parser("run", help="run one Table 1 row")
+    run = sub.add_parser(
+        "run", help="run one Table 1 row",
+        epilog="example: python -m repro run --row 4 --n 9 --f 2 "
+               "--scheduler 'semi_synchronous(p=0.5)' --detail",
+    )
     run.add_argument("--row", type=int, required=True, choices=range(1, 8))
     run.add_argument("--n", type=int, default=9)
     run.add_argument("--f", type=int, default=None, help="defaults to the row's bound")
     run.add_argument("--strategy", default="squatter", choices=sorted(STRATEGIES))
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--scheduler", default="synchronous",
+                     help="activation-scheduler spec (default: synchronous; "
+                          "see 'repro strategies' for the zoo)")
     run.add_argument("--detail", action="store_true",
                      help="call the solver directly for full diagnostics "
                           "(per-phase rounds, violation messages); "
@@ -404,7 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_args(run)
     run.set_defaults(func=_cmd_run)
 
-    tol = sub.add_parser("tolerance", help="sweep f for one row")
+    tol = sub.add_parser(
+        "tolerance", help="sweep f for one row",
+        epilog="example: python -m repro tolerance --row 5 --n 9 --store runs/ --workers 2",
+    )
     tol.add_argument("--row", type=int, required=True, choices=range(1, 8))
     tol.add_argument("--n", type=int, default=9)
     tol.add_argument("--strategy", default="ghost_squatter", choices=sorted(STRATEGIES))
@@ -413,13 +502,20 @@ def build_parser() -> argparse.ArgumentParser:
     tol.set_defaults(func=_cmd_tolerance)
 
     sw = sub.add_parser(
-        "sweep", help="resumable Table 1 grid backed by an on-disk run store"
+        "sweep", help="resumable Table 1 grid backed by an on-disk run store",
+        epilog="example: python -m repro sweep --n 9 --strategies squatter,idle "
+               "--scheduler 'synchronous,semi_synchronous(p=0.5)' --store runs/",
     )
     sw.add_argument("--n", type=int, default=9)
     sw.add_argument("--strategies", default="ghost_squatter",
                     help="comma-separated adversary strategies")
     sw.add_argument("--serials", default=None,
                     help="comma-separated Table 1 serials (default: all applicable)")
+    sw.add_argument("--scheduler", default="synchronous",
+                    help="comma-separated activation-scheduler specs, e.g. "
+                         "'synchronous,adversarial(window=4)' (default: "
+                         "synchronous — identical cells and store keys to "
+                         "the historical sweep)")
     sw.add_argument("--seed", type=int, default=0)
     _add_plan_args(sw)
     sw.set_defaults(func=_cmd_sweep)
@@ -427,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     sc = sub.add_parser(
         "scenario",
         help="run scenario(s) from a JSON file (see repro.scenarios)",
+        epilog="example: python -m repro scenario experiment.json --store runs/ --json",
     )
     sc.add_argument("file", help="JSON file: one scenario object or a list")
     sc.add_argument("--key", action="store_true",
@@ -436,28 +533,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_args(sc)
     sc.set_defaults(func=_cmd_scenario)
 
-    st = sub.add_parser("store", help="inspect an on-disk run store")
+    st = sub.add_parser(
+        "store", help="inspect an on-disk run store",
+        epilog="example: python -m repro store stats runs/",
+    )
     st_sub = st.add_subparsers(dest="store_command", required=True)
     st_stats = st_sub.add_parser(
-        "stats", help="shard count, cells, bytes, schema version"
+        "stats", help="shard count, cells, bytes, schema version",
+        epilog="example: python -m repro store stats runs/ --json",
     )
     st_stats.add_argument("path", help="run-store directory")
     st_stats.add_argument("--json", action="store_true",
                           help="print the stats as JSON")
     st_stats.set_defaults(func=_cmd_store)
 
-    imp = sub.add_parser("impossible", help="run the Theorem 8 construction")
+    imp = sub.add_parser(
+        "impossible", help="run the Theorem 8 construction",
+        epilog="example: python -m repro impossible --n 6 --k 12 --f 6",
+    )
     imp.add_argument("--n", type=int, default=6)
     imp.add_argument("--k", type=int, default=12)
     imp.add_argument("--f", type=int, default=6)
     imp.add_argument("--seed", type=int, default=0)
     imp.set_defaults(func=_cmd_impossible)
 
-    ls = sub.add_parser("strategies", help="list the adversary zoo")
+    ls = sub.add_parser(
+        "strategies", help="list the adversary zoo and activation schedulers",
+        epilog="example: python -m repro strategies",
+    )
     ls.set_defaults(func=_cmd_strategies)
 
     be = sub.add_parser(
-        "bench", help="microbenchmarks: engine and/or graph substrate"
+        "bench", help="microbenchmarks: engine and/or graph substrate",
+        epilog="example: python -m repro bench --suite all --repeats 3",
     )
     be.add_argument("--suite", choices=("engine", "graphs", "all"), default="engine",
                     help="which microbenchmark(s) to run (default: engine)")

@@ -12,11 +12,51 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..byzantine.adversary import Adversary
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from ..graphs.port_labeled import PortLabeledGraph
 from ..sim.ids import assign_ids, validate_ids
+from ..sim.schedulers import canonical_scheduler
 
-__all__ = ["Population", "build_population", "make_placement", "round_budget"]
+__all__ = [
+    "Population",
+    "build_population",
+    "make_placement",
+    "resolve_scheduler",
+    "round_budget",
+    "run_world_guarded",
+]
+
+
+def resolve_scheduler(scheduler):
+    """Normalise a driver's ``scheduler`` argument.
+
+    Returns ``(scheduler_or_None, canonical_spec)``: the synchronous
+    default (``None`` or any spec canonicalising to ``"synchronous"``)
+    collapses to ``None`` so the world takes its scheduler-free fast
+    path and reports stay byte-identical to the historical ones.
+    """
+    canon = canonical_scheduler(scheduler)
+    return (None if canon == "synchronous" else scheduler), canon
+
+
+def run_world_guarded(world, max_rounds: int, guarded: bool) -> List[str]:
+    """Run a world to its budget; returns extra violation strings.
+
+    With ``guarded`` (a non-default activation scheduler), the paper's
+    synchrony assumptions no longer hold, so a timing-induced protocol
+    breakdown — any :class:`~repro.errors.ReproError` out of the round
+    loop — is *recorded* as a violation for a failed report instead of
+    crashing the sweep.  Unguarded runs propagate, as ever: there an
+    exception is an engine or program bug.
+    """
+    if not guarded:
+        world.run(max_rounds=max_rounds)
+        return []
+    try:
+        world.run(max_rounds=max_rounds)
+    except ReproError as exc:
+        return [f"scheduler-induced protocol breakdown: {type(exc).__name__}: {exc}"]
+    return []
 
 
 def round_budget(bound: int, max_rounds: Optional[int]) -> int:

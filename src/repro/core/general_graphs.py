@@ -35,7 +35,13 @@ from ..mapping.token_mapping import plan_honest_run
 from ..sim.robot import Action, RobotAPI
 from ..sim.scheduler import RunReport, finish_report
 from ..sim.world import World
-from ._setup import Population, build_population, round_budget
+from ._setup import (
+    Population,
+    build_population,
+    resolve_scheduler,
+    round_budget,
+    run_world_guarded,
+)
 from .dispersion_using_map import dispersion_rounds_bound, dispersion_using_map
 from .phases import pairing_phase, pairing_phase_rounds, roster_phase
 
@@ -67,10 +73,24 @@ def _run_driver(
     max_rounds: int,
     pre_charges,
     keep_trace: bool,
+    scheduler=None,
     **meta,
 ) -> RunReport:
-    """Shared world assembly + execution + reporting for Theorems 2–7."""
-    world = World(graph, model=model, keep_trace=keep_trace)
+    """Shared world assembly + execution + reporting for Theorems 2–7.
+
+    A non-default activation ``scheduler`` (see
+    :mod:`repro.sim.schedulers`) is seeded from the adversary, records
+    its canonical spec in the report meta, and runs *guarded*: the
+    paper's protocols assume synchrony, so timing-induced protocol
+    breakdowns (a robot tripping an invariant because a peer was
+    starved) are recorded as violations in a failed report instead of
+    crashing the sweep.
+    """
+    scheduler, canon = resolve_scheduler(scheduler)
+    world = World(
+        graph, model=model, keep_trace=keep_trace,
+        scheduler=scheduler, scheduler_seed=pop.adversary.seed,
+    )
     for label, rounds in pre_charges:
         world.charge(label, rounds)
     byz = set(pop.byz_ids)
@@ -80,9 +100,12 @@ def _run_driver(
             world.add_robot(rid, node, pop.adversary.program_factory(rid), byzantine=True)
         else:
             world.add_robot(rid, node, honest_program_factory(rid), byzantine=False)
-    world.run(max_rounds=max_rounds)
+    if scheduler is not None:
+        meta["scheduler"] = canon
+    extra = run_world_guarded(world, max_rounds, guarded=scheduler is not None)
     return finish_report(
         world,
+        extra_violations=extra,
         f=pop.f,
         n=graph.n,
         strategy=pop.adversary.describe(),
@@ -103,6 +126,7 @@ def _pairing_solver(
     theorem: int,
     schedule: str = "paper",
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Common body of Theorems 2 and 3 (pairing tournament from a gather node)."""
     n = graph.n
@@ -124,8 +148,8 @@ def _pairing_solver(
     )
     return _run_driver(
         graph, pop, honest_program_factory, "weak", round_budget(bound, max_rounds),
-        pre_charges, keep_trace, theorem=theorem, tick_budget=tb,
-        gather_node=gather_node, schedule=schedule,
+        pre_charges, keep_trace, scheduler=scheduler, theorem=theorem,
+        tick_budget=tb, gather_node=gather_node, schedule=schedule,
     )
 
 
@@ -166,6 +190,7 @@ def _group_solver(
     scheme: str,
     theorem: int,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Common body of Theorems 4 and 5 (group map finding from a gather node)."""
     n = graph.n
@@ -185,8 +210,8 @@ def _group_solver(
     bound = base + group_plan_rounds(scheme, tb) + dispersion_rounds_bound(n) + 16
     return _run_driver(
         graph, pop, honest_program_factory, "weak", round_budget(bound, max_rounds),
-        pre_charges, keep_trace, theorem=theorem, tick_budget=tb,
-        gather_node=gather_node,
+        pre_charges, keep_trace, scheduler=scheduler, theorem=theorem,
+        tick_budget=tb, gather_node=gather_node,
     )
 
 
@@ -205,6 +230,7 @@ def solve_theorem3(
     keep_trace: bool = True,
     schedule: str = "paper",
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Theorem 3: gathered start, ``f ≤ ⌊n/2−1⌋`` weak Byzantine, O(n⁴).
 
@@ -220,6 +246,7 @@ def solve_theorem3(
     return _pairing_solver(
         graph, f, adversary, gather_node, seed, byz_placement, keep_trace,
         pre_charges=[], theorem=3, schedule=schedule, max_rounds=max_rounds,
+        scheduler=scheduler,
     )
 
 
@@ -231,6 +258,7 @@ def solve_theorem2(
     byz_placement: str = "lowest",
     keep_trace: bool = True,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Theorem 2: arbitrary start, ``f ≤ ⌊n/2−1⌋`` weak, Õ(n⁹).
 
@@ -254,7 +282,7 @@ def solve_theorem2(
     return _pairing_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,
         pre_charges=[("gathering_dpp_weak", charge)], theorem=2,
-        max_rounds=max_rounds,
+        max_rounds=max_rounds, scheduler=scheduler,
     )
 
 
@@ -267,6 +295,7 @@ def solve_theorem4(
     byz_placement: str = "lowest",
     keep_trace: bool = True,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Theorem 4: gathered start, ``f ≤ ⌊n/3−1⌋`` weak Byzantine, O(n³).
 
@@ -278,6 +307,7 @@ def solve_theorem4(
     return _group_solver(
         graph, f, adversary, gather_node, seed, byz_placement, keep_trace,
         pre_charges=[], scheme="three_groups", theorem=4, max_rounds=max_rounds,
+        scheduler=scheduler,
     )
 
 
@@ -289,6 +319,7 @@ def solve_theorem5(
     byz_placement: str = "lowest",
     keep_trace: bool = True,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Theorem 5: arbitrary start, ``f ≤ ⌊√n⌋`` weak, Õ(n⁵·√n).
 
@@ -313,7 +344,7 @@ def solve_theorem5(
     return _group_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,
         pre_charges=[("gathering_hirose", charge)], scheme="two_groups_majority",
-        theorem=5, max_rounds=max_rounds,
+        theorem=5, max_rounds=max_rounds, scheduler=scheduler,
     )
 
 

@@ -22,7 +22,7 @@ from ..graphs.quotient import is_quotient_isomorphic
 from ..sim.robot import RobotAPI
 from ..sim.scheduler import RunReport, finish_report
 from ..sim.world import World
-from ._setup import build_population, round_budget
+from ._setup import build_population, resolve_scheduler, round_budget, run_world_guarded
 from .dispersion_using_map import dispersion_rounds_bound, dispersion_using_map
 from .find_map import find_map_rounds, private_quotient_map
 
@@ -44,6 +44,7 @@ def solve_theorem1(
     id_seed: Optional[int] = None,
     keep_trace: bool = True,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Run the Theorem 1 algorithm end to end.
 
@@ -52,7 +53,9 @@ def solve_theorem1(
     ``start`` is any placement — Theorem 1 needs no gathering.
     ``max_rounds`` caps the *simulated* phase below the solver's own
     bound (a scenario round budget); a too-small budget reports
-    ``success=False`` instead of raising.
+    ``success=False`` instead of raising.  ``scheduler`` selects a
+    non-default activation model (:mod:`repro.sim.schedulers`); timing-
+    induced protocol breakdowns under it are recorded as violations.
 
     Returns a :class:`~repro.sim.scheduler.RunReport`; ``rounds_charged``
     carries the Find-Map polynomial, ``rounds_simulated`` the O(n)
@@ -76,7 +79,11 @@ def solve_theorem1(
         id_seed=id_seed,
         seed=seed,
     )
-    world = World(graph, model="weak", keep_trace=keep_trace)
+    scheduler, canon = resolve_scheduler(scheduler)
+    world = World(
+        graph, model="weak", keep_trace=keep_trace,
+        scheduler=scheduler, scheduler_seed=pop.adversary.seed,
+    )
 
     # Phase 1 — Find-Map: independent, parallel, interference-free; all
     # robots finish within the same polynomial bound (synchronous start),
@@ -99,12 +106,16 @@ def solve_theorem1(
 
     # Phase 2 — Dispersion-Using-Map: O(n) simulated rounds (+ slack for
     # beyond-tolerance experiments to fail visibly rather than hang).
-    world.run(max_rounds=round_budget(dispersion_rounds_bound(graph.n) + 4, max_rounds))
+    budget = round_budget(dispersion_rounds_bound(graph.n) + 4, max_rounds)
+    meta = {} if scheduler is None else {"scheduler": canon}
+    extra = run_world_guarded(world, budget, guarded=scheduler is not None)
     return finish_report(
         world,
+        extra_violations=extra,
         theorem=1,
         f=f,
         n=graph.n,
         strategy=pop.adversary.describe(),
         byz_ids=pop.byz_ids,
+        **meta,
     )

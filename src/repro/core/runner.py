@@ -99,9 +99,9 @@ TABLE1: List[Table1Row] = [
     Table1Row(
         serial=1, theorem=1, running_time="polynomial(n)", start="Arbitrary",
         tolerance="n-1", strong=False,
-        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None:
+        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None, scheduler=None:
             solve_theorem1(graph, f=f, adversary=adversary, seed=seed,
-                           byz_placement=byz_placement, start="arbitrary", max_rounds=max_rounds),
+                           byz_placement=byz_placement, start="arbitrary", max_rounds=max_rounds, scheduler=scheduler),
         f_max=lambda g: g.n - 1,
         paper_bound=_bound_row1,
         note="graphs with quotient graph isomorphic to the graph",
@@ -109,45 +109,45 @@ TABLE1: List[Table1Row] = [
     Table1Row(
         serial=2, theorem=2, running_time="O(n^4 |L_good| X(n))", start="Arbitrary",
         tolerance="floor(n/2)-1", strong=False,
-        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None:
+        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None, scheduler=None:
             solve_theorem2(graph, f=f, adversary=adversary, seed=seed,
-                           byz_placement=byz_placement, max_rounds=max_rounds),
+                           byz_placement=byz_placement, max_rounds=max_rounds, scheduler=scheduler),
         f_max=lambda g: max(0, g.n // 2 - 1),
         paper_bound=_bound_row2,
     ),
     Table1Row(
         serial=3, theorem=5, running_time="O((f+|L_all|) X(n))", start="Arbitrary",
         tolerance="O(sqrt(n))", strong=False,
-        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None:
+        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None, scheduler=None:
             solve_theorem5(graph, f=f, adversary=adversary, seed=seed,
-                           byz_placement=byz_placement, max_rounds=max_rounds),
+                           byz_placement=byz_placement, max_rounds=max_rounds, scheduler=scheduler),
         f_max=_f_sqrt,
         paper_bound=_bound_row3,
     ),
     Table1Row(
         serial=4, theorem=3, running_time="O(n^4)", start="Gathered",
         tolerance="floor(n/2)-1", strong=False,
-        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None:
+        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None, scheduler=None:
             solve_theorem3(graph, f=f, adversary=adversary, seed=seed,
-                           byz_placement=byz_placement, max_rounds=max_rounds),
+                           byz_placement=byz_placement, max_rounds=max_rounds, scheduler=scheduler),
         f_max=lambda g: max(0, g.n // 2 - 1),
         paper_bound=_bound_row4,
     ),
     Table1Row(
         serial=5, theorem=4, running_time="O(n^3)", start="Gathered",
         tolerance="floor(n/3)-1", strong=False,
-        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None:
+        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None, scheduler=None:
             solve_theorem4(graph, f=f, adversary=adversary, seed=seed,
-                           byz_placement=byz_placement, max_rounds=max_rounds),
+                           byz_placement=byz_placement, max_rounds=max_rounds, scheduler=scheduler),
         f_max=lambda g: max(0, g.n // 3 - 1),
         paper_bound=_bound_row5,
     ),
     Table1Row(
         serial=6, theorem=7, running_time="exponential(n)", start="Arbitrary",
         tolerance="floor(n/4)-1", strong=True,
-        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None:
+        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None, scheduler=None:
             solve_theorem7(graph, f=f, adversary=adversary, seed=seed,
-                           byz_placement=byz_placement, max_rounds=max_rounds),
+                           byz_placement=byz_placement, max_rounds=max_rounds, scheduler=scheduler),
         f_max=lambda g: max(0, g.n // 4 - 1),
         paper_bound=_bound_row6,
         note="requires robots to know f",
@@ -155,9 +155,9 @@ TABLE1: List[Table1Row] = [
     Table1Row(
         serial=7, theorem=6, running_time="O(n^3)", start="Gathered",
         tolerance="floor(n/4)-1", strong=True,
-        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None:
+        solver=lambda graph, f=0, adversary=None, seed=0, byz_placement="lowest", max_rounds=None, scheduler=None:
             solve_theorem6(graph, f=f, adversary=adversary, seed=seed,
-                           byz_placement=byz_placement, max_rounds=max_rounds),
+                           byz_placement=byz_placement, max_rounds=max_rounds, scheduler=scheduler),
         f_max=lambda g: max(0, g.n // 4 - 1),
         paper_bound=_bound_row7,
     ),

@@ -60,6 +60,7 @@ def _strong_solver(
     pre_charges,
     theorem: int,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     n = graph.n
     pop = build_population(
@@ -78,8 +79,8 @@ def _strong_solver(
     bound = base + group_plan_rounds("two_groups_strong", tb) + n + 16
     return _run_driver(
         graph, pop, honest_program_factory, "strong", round_budget(bound, max_rounds),
-        pre_charges, keep_trace, theorem=theorem, tick_budget=tb,
-        gather_node=gather_node,
+        pre_charges, keep_trace, scheduler=scheduler, theorem=theorem,
+        tick_budget=tb, gather_node=gather_node,
     )
 
 
@@ -92,12 +93,13 @@ def solve_theorem6(
     byz_placement: str = "lowest",
     keep_trace: bool = True,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Theorem 6: gathered start, ``f ≤ ⌊n/4−1⌋`` **strong** Byzantine, O(n³)."""
     _check(graph, f)
     return _strong_solver(
         graph, f, adversary, gather_node, seed, byz_placement, keep_trace,
-        pre_charges=[], theorem=6, max_rounds=max_rounds,
+        pre_charges=[], theorem=6, max_rounds=max_rounds, scheduler=scheduler,
     )
 
 
@@ -109,6 +111,7 @@ def solve_theorem7(
     byz_placement: str = "lowest",
     keep_trace: bool = True,
     max_rounds: Optional[int] = None,
+    scheduler=None,
 ) -> RunReport:
     """Theorem 7: arbitrary start, ``f ≤ ⌊n/4−1⌋`` strong, exponential rounds.
 
@@ -122,7 +125,7 @@ def solve_theorem7(
     return _strong_solver(
         graph, f, adversary, gather, seed, byz_placement, keep_trace,
         pre_charges=[("gathering_dpp_strong", charge)], theorem=7,
-        max_rounds=max_rounds,
+        max_rounds=max_rounds, scheduler=scheduler,
     )
 
 

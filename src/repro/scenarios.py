@@ -40,9 +40,10 @@ zero-solver-call replays — applies to every scenario unchanged, because
 a scenario *is* a cell with a serialization format.
 
 Default-value canonicalisation keeps old caches warm: ``placement=
-"lowest"`` and ``rounds=None`` (the only values historical sweeps could
-express) are omitted from the hashed key payload, so every key produced
-here is bit-identical to the PR-3 key for the same work.
+"lowest"``, ``rounds=None`` and ``scheduler="synchronous"`` (the only
+values historical sweeps could express) are omitted from the hashed key
+payload, so every key produced here is bit-identical to the PR-3 key
+for the same work.
 
 JSON scenario files
 -------------------
@@ -53,7 +54,10 @@ JSON scenario files
      "strategy": "squatter", "f": "max", "seed": 0}
 
 which hits exactly the same store cell as the equivalent ``repro sweep``
-invocation.
+invocation.  An optional ``"scheduler"`` field selects a non-default
+activation model (``"semi_synchronous(p=0.5)"`` etc. — see
+:mod:`repro.sim.schedulers` and EXPERIMENTS.md); like every axis, its
+default canonicalises out of both the JSON form and the store key.
 """
 
 from __future__ import annotations
@@ -78,6 +82,7 @@ from .core.runner import TABLE1, Table1Row, get_row, row_applicable
 from .errors import ConfigurationError
 from .graphs.port_labeled import PortLabeledGraph
 from .graphs.specs import GraphSpec, canonicalize_spec, resolve_spec, spec_of
+from .sim.schedulers import canonical_scheduler
 
 __all__ = [
     "KINDS",
@@ -88,6 +93,7 @@ __all__ = [
     "grid",
     "run_scenarios",
     "scaling_grid",
+    "scheduler_matrix_grid",
     "strategy_matrix_grid",
     "table1_grid",
     "tolerance_grid",
@@ -145,10 +151,13 @@ class ResultSet(List[Dict]):
             groups.setdefault(fn(rec), ResultSet()).append(rec)
         return groups
 
-    def summarize(self, group_by: str) -> List[Dict]:
+    def summarize(self, group_by: str, missing=None) -> List[Dict]:
         """Per-group success rate and round statistics
-        (:func:`repro.analysis.metrics.summarize`)."""
-        return _summarize(list(self), group_by)
+        (:func:`repro.analysis.metrics.summarize`).  ``missing`` labels
+        records lacking the key — e.g. ``summarize("scheduler",
+        missing="synchronous")``, since default-valued axes omit their
+        key from records for cache compatibility."""
+        return _summarize(list(self), group_by, missing=missing)
 
     def success_rate(self) -> float:
         """Fraction of successful records (``nan`` when empty — see
@@ -333,11 +342,17 @@ class Scenario:
         Which IDs the adversary corrupts: ``"lowest"`` (default),
         ``"highest"``, or ``"random"`` (driven by ``seed``).
     seed:
-        Run seed (drives the adversary streams and random placement).
+        Run seed (drives the adversary streams, random placement, and
+        the scheduler's dedicated RNG stream).
     rounds:
         Optional round budget capping the *simulated* phase below the
         solver's own bound; an exhausted budget records
         ``success=False``.
+    scheduler:
+        Activation-scheduler spec string (``"synchronous"`` default,
+        ``"semi_synchronous(p=0.5)"``, ``"adversarial(window=4)"``,
+        ``"crash_recovery(down=2,up=6)"`` — see
+        :mod:`repro.sim.schedulers`); canonicalised on construction.
 
     ``key()`` is definitionally the run-store cell key of the compiled
     cell, and defaults canonicalise out of the hash — a default-valued
@@ -352,6 +367,7 @@ class Scenario:
     placement: str = "lowest"
     seed: int = 0
     rounds: Optional[int] = None
+    scheduler: str = "synchronous"
 
     def __post_init__(self):
         object.__setattr__(self, "algorithm", _normalize_algorithm(self.algorithm))
@@ -392,6 +408,14 @@ class Scenario:
             or self.rounds < 0
         ):
             raise ConfigurationError(f"rounds must be a non-negative int, got {self.rounds!r}")
+        if not isinstance(self.scheduler, str):
+            # Serializable scenarios only speak registry spec strings
+            # (like strategies); pass scheduler callables to the solvers
+            # directly if you need them.
+            raise ConfigurationError(
+                f"scheduler must be a spec string, got {type(self.scheduler).__name__}"
+            )
+        object.__setattr__(self, "scheduler", canonical_scheduler(self.scheduler))
 
     # -- identity ------------------------------------------------------ #
 
@@ -407,7 +431,8 @@ class Scenario:
 
     def _identity(self) -> Tuple:
         return (self.kind, self.algorithm, self._graph_identity(),
-                self.strategy, self.f, self.placement, self.seed, self.rounds)
+                self.strategy, self.f, self.placement, self.seed, self.rounds,
+                self.scheduler)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Scenario):
@@ -465,6 +490,7 @@ class Scenario:
             f=self.resolved_f(),
             placement=self.placement,
             rounds=self.rounds,
+            scheduler=self.scheduler,
         )
 
     def key(self) -> str:
@@ -504,6 +530,8 @@ class Scenario:
         }
         if self.rounds is not None:
             out["rounds"] = self.rounds
+        if self.scheduler != "synchronous":
+            out["scheduler"] = self.scheduler
         return out
 
     @classmethod
@@ -519,7 +547,7 @@ class Scenario:
             )
         unknown = set(payload) - {
             "version", "kind", "algorithm", "graph", "strategy", "f",
-            "placement", "seed", "rounds",
+            "placement", "seed", "rounds", "scheduler",
         }
         if unknown:
             raise ConfigurationError(
@@ -536,6 +564,7 @@ class Scenario:
             placement=payload.get("placement", "lowest"),
             seed=payload.get("seed", 0),
             rounds=payload.get("rounds"),
+            scheduler=payload.get("scheduler", "synchronous"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -555,6 +584,8 @@ class Scenario:
             extras += f", placement={self.placement}"
         if self.rounds is not None:
             extras += f", rounds<={self.rounds}"
+        if self.scheduler != "synchronous":
+            extras += f", scheduler={self.scheduler}"
         g = self.graph if isinstance(self.graph, GraphSpec) else spec_of(self.graph)
         graph_desc = (
             f"{g.family}({', '.join(f'{k}={v}' for k, v in g.args)})"
@@ -701,6 +732,7 @@ def grid(
     graphs: Union[PortLabeledGraph, GraphSpec, Sequence] = (),
     strategies: Union[str, Sequence[str]] = ("squatter",),
     f: Union[int, str, Sequence] = "max",
+    schedulers: Union[str, Sequence[str]] = ("synchronous",),
     seeds: Union[int, Sequence[int]] = (0,),
     kind: str = "table1",
     placement: str = "lowest",
@@ -709,12 +741,15 @@ def grid(
 ) -> ScenarioGrid:
     """Declaratively expand a scenario grid.
 
-    Axes (``rows``, ``graphs``, ``strategies``, ``f``, ``seeds``) accept
-    a scalar or a sequence; ``rows=None`` means every Table 1 row.
-    Expansion order is fixed and documented: **rows, then graphs, then
-    strategies, then f, then seeds** (rows outermost, seeds innermost) —
-    the order every legacy sweep used, so grid presets replay their
-    record streams exactly.  ``applicable_only`` (default) drops
+    Axes (``rows``, ``graphs``, ``strategies``, ``f``, ``schedulers``,
+    ``seeds``) accept a scalar or a sequence; ``rows=None`` means every
+    Table 1 row.  Expansion order is fixed and documented: **rows, then
+    graphs, then strategies, then f, then schedulers, then seeds** (rows
+    outermost, seeds innermost) — the order every legacy sweep used
+    (the scheduler axis sits where its singleton default leaves legacy
+    record streams untouched), so grid presets replay those streams
+    exactly.  ``schedulers`` takes activation-scheduler spec strings
+    (:mod:`repro.sim.schedulers`).  ``applicable_only`` (default) drops
     scenarios whose row does not admit their graph, mirroring
     ``run_table1``/``strategy_matrix``.
     """
@@ -722,16 +757,19 @@ def grid(
     graph_axis = _axis(graphs, "graphs")
     strategy_axis = _axis(strategies, "strategies")
     f_axis = _axis("max" if f is None else f, "f")
+    scheduler_axis = _axis(schedulers, "schedulers")
     seed_axis = _axis(seeds, "seeds")
     scenarios = [
         Scenario(
             algorithm=row, graph=graph, strategy=strategy, f=f_value,
             kind=kind, placement=placement, seed=seed, rounds=rounds,
+            scheduler=scheduler,
         )
         for row in row_axis
         for graph in graph_axis
         for strategy in strategy_axis
         for f_value in f_axis
+        for scheduler in scheduler_axis
         for seed in seed_axis
     ]
     out = ScenarioGrid(scenarios)
@@ -807,6 +845,32 @@ def scaling_grid(
         )
         for g in applicable
     ])
+
+
+def scheduler_matrix_grid(
+    rows: Sequence[Union[int, str, Table1Row]],
+    graph: PortLabeledGraph,
+    schedulers: Sequence[str],
+    strategy: str = "squatter",
+    seed: int = 0,
+    applicable_only: bool = True,
+) -> ScenarioGrid:
+    """The scheduler matrix as a grid: given rows × activation schedulers
+    at each row's tolerance bound, one adversary strategy.
+
+    The timing analogue of :func:`strategy_matrix_grid`: ``schedulers``
+    are canonical spec strings (:mod:`repro.sim.schedulers`), and the
+    ``synchronous`` column compiles to exactly the cells — same store
+    keys, same records — a legacy Table 1 sweep produces.  Empty
+    rows/schedulers keep the sweep-preset contract (empty grid) rather
+    than raising as a direct :func:`grid` call would.
+    """
+    rows, schedulers = list(rows), list(schedulers)  # may be iterators
+    if not rows or not schedulers:
+        return ScenarioGrid([])
+    return grid(rows=rows, graphs=graph, strategies=strategy,
+                f="max", schedulers=schedulers, seeds=seed, kind="table1",
+                applicable_only=applicable_only)
 
 
 def strategy_matrix_grid(

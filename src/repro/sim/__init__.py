@@ -14,12 +14,28 @@ from .robot import (
 )
 from .reference import ReferenceWorld
 from .scheduler import RunReport, finish_report
+from .schedulers import (
+    SCHEDULERS,
+    Scheduler,
+    SchedulerSpec,
+    build_scheduler,
+    canonical_scheduler,
+    parse_scheduler,
+    scheduler_rng,
+)
 from .trace import Trace, TraceEvent
 from .world import World
 
 __all__ = [
     "World",
     "ReferenceWorld",
+    "SCHEDULERS",
+    "Scheduler",
+    "SchedulerSpec",
+    "build_scheduler",
+    "canonical_scheduler",
+    "parse_scheduler",
+    "scheduler_rng",
     "Robot",
     "RobotAPI",
     "ByzantineAPI",

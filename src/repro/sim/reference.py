@@ -73,10 +73,24 @@ class ReferenceByzantineAPI(_SeedReadPaths, ByzantineAPI):
 
 
 class ReferenceWorld(World):
-    """A :class:`World` whose ``step`` is the unoptimized original."""
+    """A :class:`World` whose ``step`` is the unoptimized original.
+
+    Synchronous only: the seed engine predates activation schedulers, so
+    its ``step`` has no scheduler branch — accepting one here would
+    silently run fully synchronously.  The synchronous spec is fine (it
+    is the scheduler-free behaviour by definition); anything else raises.
+    """
 
     _api_cls = ReferenceRobotAPI
     _byzantine_api_cls = ReferenceByzantineAPI
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if self._scheduler is not None:
+            raise SimulationError(
+                "ReferenceWorld is the synchronous seed engine; activation "
+                "schedulers are only implemented by the optimized World"
+            )
 
     #: Eager round-start snapshot (``true_id -> (node, PublicView)``),
     #: rebuilt at the top of every round like the seed engine did.

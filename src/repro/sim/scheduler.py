@@ -37,7 +37,13 @@ class RunReport:
         ``(label, rounds)`` per charged phase, in order.
     meta:
         Free-form algorithm-specific extras (e.g. maps agreed, group
-        assignment, blacklist sizes).
+        assignment, blacklist sizes; a non-default activation scheduler
+        records its canonical spec under ``meta["scheduler"]``).
+    activations:
+        Total program resumptions across the run (the world's tally).
+        Under the synchronous default this equals live-robot-rounds; a
+        non-default :mod:`~repro.sim.schedulers` scheduler makes it a
+        real measure of granted activations.
     """
 
     success: bool
@@ -47,6 +53,7 @@ class RunReport:
     violations: List[str] = field(default_factory=list)
     phases: List[Tuple[str, int]] = field(default_factory=list)
     meta: Dict[str, object] = field(default_factory=dict)
+    activations: int = 0
 
     @property
     def rounds_total(self) -> int:
@@ -95,4 +102,5 @@ def finish_report(
         violations=violations,
         phases=list(world.charged),
         meta=dict(meta),
+        activations=world.activations,
     )

@@ -32,15 +32,30 @@ Hot-path engineering (see PERFORMANCE.md for measurements):
 * Board dictionaries are recycled on message-free rounds instead of being
   reallocated; a shared immutable empty mapping stands in for decayed
   previous-round boards.
+
+Activation schedulers (see :mod:`repro.sim.schedulers`): a non-default
+``scheduler`` decides, per round, which robots get their program resumed.
+Robots left inactive keep their public record frozen for the round;
+everything else (boards, the round counter, simultaneous movement of the
+robots that *did* act) ticks on.  The default (no scheduler) takes the
+historical fully synchronous branch untouched, so its behaviour is
+byte-identical to the scheduler-free engine.
 """
 
 from __future__ import annotations
 
 from operator import attrgetter
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..errors import ProtocolViolation, SimulationError
 from ..graphs.port_labeled import PortLabeledGraph
+from .schedulers import (
+    Scheduler,
+    SchedulerSpec,
+    SynchronousScheduler,
+    build_scheduler,
+    scheduler_rng,
+)
 from .robot import (
     SETTLED,
     Action,
@@ -81,6 +96,15 @@ class World:
         ``"strong"`` — they can (Section 4).
     keep_trace:
         Store full event objects (True) or only counters (False).
+    scheduler:
+        Activation scheduler: ``None`` (the default — fully synchronous,
+        the paper's model), a spec string like ``"semi_synchronous(p=0.5)"``,
+        a :class:`~repro.sim.schedulers.SchedulerSpec`, or a scheduler
+        callable.  See :mod:`repro.sim.schedulers`.
+    scheduler_seed:
+        Seeds the scheduler's dedicated RNG stream (conventionally the
+        adversary seed — activation timing is adversary power).  Unused
+        by the synchronous default.
     """
 
     #: API classes handed to robot programs; subclasses (the reference
@@ -93,6 +117,8 @@ class World:
         graph: PortLabeledGraph,
         model: str = "weak",
         keep_trace: bool = True,
+        scheduler: Union[None, str, SchedulerSpec, Scheduler] = None,
+        scheduler_seed: int = 0,
     ):
         if model not in ("weak", "strong"):
             raise SimulationError(f"unknown Byzantine model {model!r}")
@@ -100,6 +126,19 @@ class World:
         self.model = model
         self.robots: Dict[int, Robot] = {}
         self.round = 0
+        #: Total program resumptions so far (one per robot per round it
+        #: was activated and awake).  Under the synchronous default this
+        #: equals live-robot-rounds; schedulers make it a real measure.
+        self.activations = 0
+        if scheduler is not None:
+            built = build_scheduler(scheduler)
+            # A synchronous spec collapses to the scheduler-free fast
+            # path: same branch, same bytes, zero per-round overhead.
+            scheduler = None if isinstance(built, SynchronousScheduler) else built
+        self._scheduler = scheduler
+        self._scheduler_rng = (
+            scheduler_rng(scheduler_seed) if scheduler is not None else None
+        )
         self.charged: List[Tuple[str, int]] = []
         self.board_current: Dict[int, List[Tuple[int, Any]]] = {}
         self.board_previous: Dict[int, List[Tuple[int, Any]]] = {}
@@ -198,6 +237,16 @@ class World:
             self._order_dirty = False
         order = self._order
 
+        # Activation scheduling: ``None`` (synchronous, or a scheduler
+        # answering "everyone") keeps the historical loop byte-identical;
+        # otherwise only robots in ``active`` get their program resumed.
+        # The scheduler sees the full live roster every round — draws and
+        # fairness clocks must not depend on program-internal sleep state.
+        scheduler = self._scheduler
+        active = (
+            None if scheduler is None else scheduler(rnd, order, self._scheduler_rng)
+        )
+
         movers: List[Tuple[Robot, int]] = []
         append_mover = movers.append
         # Fast-forward bookkeeping, tracked in-loop so no extra pass over
@@ -216,6 +265,14 @@ class World:
                     if ff_min < 0 or su < ff_min:
                         ff_min = su
                     continue
+                if active is not None and robot.true_id not in active:
+                    # Not activated this round: record frozen, program
+                    # un-resumed.  It may run next round, so the sleep
+                    # fast-forward must never jump over it.
+                    any_live = True
+                    ff_blocked = True
+                    continue
+                self.activations += 1
                 try:
                     action = next(robot.program)
                 except StopIteration:
@@ -300,7 +357,9 @@ class World:
         # Fast-forward: if every live robot is dormant, jump to the first
         # round anyone wakes in one step.  Equivalent to stepping (dormant
         # robots observe nothing and boards decay to empty after a round).
-        if any_live and not ff_blocked and ff_min > nxt + 1:
+        # Never under a scheduler: skipped rounds would skip its RNG draws
+        # and fairness/outage clocks, changing activation semantics.
+        if scheduler is None and any_live and not ff_blocked and ff_min > nxt + 1:
             self.round = ff_min
             self.board_previous = _EMPTY_BOARD
 

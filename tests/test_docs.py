@@ -1,0 +1,57 @@
+"""The docs gate, run as part of tier-1 (CI runs tools/check_docs.py too).
+
+Pins the satellite contracts of the README/docs pass: a README exists
+with a runnable ```python quickstart, no Markdown doc holds a dangling
+relative link, and the extraction helpers behave (so a fence-format
+change cannot silently turn the CI docs job into a no-op).
+"""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parents[1] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_docs  # noqa: E402
+
+
+def test_readme_exists():
+    assert (check_docs.REPO_ROOT / "README.md").is_file()
+
+
+def test_extract_code_blocks_filters_by_language():
+    md = "\n".join([
+        "intro", "```sh", "echo no", "```",
+        "```python", "x = 1", "y = x + 1", "```",
+        "```", "plain fence", "```",
+        "```python", "z = 2", "```",
+    ])
+    blocks = check_docs.extract_code_blocks(md)
+    assert blocks == ["x = 1\ny = x + 1\n", "z = 2\n"]
+
+
+def test_readme_has_a_python_quickstart():
+    readme = (check_docs.REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert check_docs.extract_code_blocks(readme), "README lost its quickstart"
+
+
+def test_readme_quickstart_runs_verbatim():
+    assert check_docs.run_readme_quickstart(check_docs.REPO_ROOT / "README.md") == []
+
+
+def test_no_dangling_relative_links():
+    assert check_docs.check_relative_links() == []
+
+
+def test_link_checker_sees_through_fences(tmp_path, monkeypatch):
+    # Links inside fenced code blocks are not links; links outside are.
+    doc = tmp_path / "DOC.md"
+    doc.write_text(
+        "```sh\ncat [not a link](nowhere.json)\n```\n"
+        "real: [gone](missing.md)\n",
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_GLOBS", ("*.md",))
+    errors = check_docs.check_relative_links()
+    assert errors == ["DOC.md: broken link (missing.md)"]

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Docs gate: execute the README quickstart and validate Markdown links.
+
+Two checks, both deterministic and network-free:
+
+1. **Quickstart execution** — every ```python code block in README.md is
+   executed, in order, in one shared namespace.  The quickstart is the
+   first code a newcomer runs; it must work verbatim, so CI runs it
+   verbatim.
+2. **Relative-link validation** — every relative link target in the
+   repo's Markdown docs must exist on disk.  Docs rot by renames; this
+   catches the rename that forgot its references.
+
+Run:  python tools/check_docs.py   (exit 0 = docs healthy)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Root-level docs whose links are validated (directories like
+#: tests/related fixture READMEs are third-party and exempt).
+DOC_GLOBS = ("*.md", ".github/**/*.md", "benchmarks/*.md", "examples/*.md")
+
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+#: Inline Markdown links; deliberately simple — our docs use plain
+#: ``[text](target)`` forms.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_code_blocks(markdown: str, language: str = "python") -> List[str]:
+    """The contents of every fenced code block tagged ``language``."""
+    blocks: List[str] = []
+    current: List[str] = []
+    in_block = False
+    for line in markdown.splitlines():
+        fence = _FENCE_RE.match(line)
+        if fence and not in_block:
+            in_block = fence.group(1) == language
+            current = []
+            continue
+        if line.strip() == "```" and in_block is not False:
+            if in_block:
+                blocks.append("\n".join(current) + "\n")
+            in_block = False
+            continue
+        if in_block:
+            current.append(line)
+    return blocks
+
+
+def run_readme_quickstart(readme: Path) -> List[str]:
+    """Execute README python blocks in one namespace; returns errors."""
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    blocks = extract_code_blocks(readme.read_text(encoding="utf-8"))
+    if not blocks:
+        return [f"{readme.name}: no ```python quickstart block found"]
+    namespace: dict = {"__name__": "__readme__"}
+    errors = []
+    for i, block in enumerate(blocks, 1):
+        try:
+            exec(compile(block, f"<{readme.name} python block {i}>", "exec"), namespace)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+            errors.append(f"{readme.name} python block {i} failed: {exc!r}")
+    return errors
+
+
+def _is_relative(target: str) -> bool:
+    return not (
+        target.startswith(("http://", "https://", "mailto:", "#"))
+        or "://" in target
+    )
+
+
+def iter_relative_links(path: Path) -> List[Tuple[str, str]]:
+    """All ``(raw target, resolved-relative target)`` links in one file."""
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced code blocks: shell heredocs etc. are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    out = []
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if _is_relative(target):
+            out.append((target, target.split("#", 1)[0]))
+    return out
+
+
+def check_relative_links() -> List[str]:
+    """Dangling relative links across the repo's Markdown docs."""
+    errors = []
+    seen = set()
+    for pattern in DOC_GLOBS:
+        for path in sorted(REPO_ROOT.glob(pattern)):
+            if path in seen or not path.is_file():
+                continue
+            seen.add(path)
+            for raw, stripped in iter_relative_links(path):
+                if not stripped:  # pure-anchor link into the same file
+                    continue
+                resolved = (path.parent / stripped).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path.relative_to(REPO_ROOT)}: broken link ({raw})"
+                    )
+    return errors
+
+
+def main() -> int:
+    errors = check_relative_links()
+    readme = REPO_ROOT / "README.md"
+    if not readme.is_file():
+        errors.append("README.md is missing")
+    else:
+        errors.extend(run_readme_quickstart(readme))
+    for err in errors:
+        print(f"DOCS: {err}", file=sys.stderr)
+    if not errors:
+        print("docs ok: README quickstart ran, all relative links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
