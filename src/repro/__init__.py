@@ -38,9 +38,24 @@ Quick start — the activation-scheduler axis (who acts each round)::
     records = Scenario(algorithm=5, graph=g, strategy="squatter",
                        scheduler="semi_synchronous(p=0.9)").run()
 
+Sweeps are fault-tolerant: the executor retries failing cells with
+backoff, respawns crashed worker pools, and quarantines cells that keep
+failing as structured failure records (``results.failures()``) instead
+of crashing the sweep — tune via
+:class:`~repro.analysis.experiments.ExecutionPolicy` (``strict=True``
+restores raising).  See EXPERIMENTS.md "Failure semantics".
+
 See README.md for the architecture tour and EXPERIMENTS.md for the full
 scenario-axis reference (including the cache-compatibility rule).
 """
+
+from .analysis import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
+    FaultPlan,
+    FaultSpec,
+    RunStore,
+)
 
 from .byzantine import (
     STRATEGIES,
@@ -70,6 +85,7 @@ from .errors import (
     MapError,
     ReproError,
     SimulationError,
+    SweepFaultError,
 )
 from .scenarios import (
     ResultSet,
@@ -89,7 +105,7 @@ from .sim import (
     parse_scheduler,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -101,6 +117,11 @@ __all__ = [
     "grid",
     "run_scenarios",
     "scheduler_matrix_grid",
+    "RunStore",
+    "ExecutionPolicy",
+    "DEFAULT_POLICY",
+    "FaultPlan",
+    "FaultSpec",
     "SCHEDULERS",
     "SchedulerSpec",
     "build_scheduler",
@@ -128,5 +149,6 @@ __all__ = [
     "GraphStructureError",
     "MapError",
     "SimulationError",
+    "SweepFaultError",
     "ConfigurationError",
 ]

@@ -9,6 +9,8 @@ from .benchmark import run_benchmark, write_bench_json
 from .complexity import PowerFit, doubling_ratios, fit_power_law
 from .graphbench import run_graph_benchmark
 from .experiments import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
     SweepCell,
     cell_key_of,
     execute_plan,
@@ -19,12 +21,17 @@ from .experiments import (
     strategy_matrix,
     tolerance_sweep,
 )
+from .faults import FaultPlan, FaultSpec
 from .metrics import record_from_report, success_rate, summarize
 from .store import RunStore, cell_key
 from .tables import format_big, render_table
 from .validation import dispersion_violations, is_dispersed, settlement_histogram
 
 __all__ = [
+    "DEFAULT_POLICY",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "FaultSpec",
     "RunStore",
     "SweepCell",
     "cell_key",

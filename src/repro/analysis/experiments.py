@@ -43,30 +43,62 @@ All four public sweeps are thin wrappers that compile their grid into an
 explicit list of :class:`SweepCell` values and hand it to
 :func:`execute_plan`.  The executor optionally carries a
 :class:`~repro.analysis.store.RunStore`: completed cells are streamed to
-the store **as they finish** (chunked ``Executor.map`` submission,
-results reassembled in submission order), and on a re-run with
-``resume=True`` every cell whose content key is already present is
-answered from disk without touching a solver.  Record lists stay
-byte-identical to a serial, store-less run in every mode — serial,
-``workers>1``, resumed-from-partial-store, and fully warm (zero solver
-calls).
+the store **as they finish** (chunked sliding-window submission, results
+reassembled in submission order), and on a re-run with ``resume=True``
+every cell whose content key is already present is answered from disk
+without touching a solver.  Record lists stay byte-identical to a
+serial, store-less run in every mode — serial, ``workers>1``,
+resumed-from-partial-store, and fully warm (zero solver calls).
+
+Fault tolerance
+---------------
+:func:`execute_plan` is built to survive its own workers.  An
+:class:`ExecutionPolicy` sets the knobs: per-cell wall-clock
+``timeout`` (a hung chunk's pool is killed and respawned, the hung
+cells retried), bounded ``max_retries`` with exponential backoff, and
+quarantine — a cell that keeps failing becomes a structured failure
+record (``success=False, failed=True, reason=...``) instead of a
+crashed sweep, unless ``strict=True`` opts back into raising
+:class:`~repro.errors.SweepFaultError`.  A dead worker
+(``BrokenProcessPool`` — OOM kill, segfault) respawns the pool;
+completed cells are already safe in the store and surviving pending
+cells are resubmitted.  :class:`~repro.errors.ReproError` is exempt
+from all of this: the repro hierarchy means *deterministic rejection*
+(f beyond a bound, an inapplicable graph) and propagates immediately —
+retrying it cannot change the answer.  Failure records are **never**
+written to the store, so a quarantined cell is recomputed by the next
+run instead of poisoning the cache.
+
+The failure paths are testable on demand: a
+:class:`~repro.analysis.faults.FaultPlan` (``faults=``) injects
+deterministic worker crashes, hangs, and transient errors into
+designated cells by content key, and the chaos suite pins the signature
+invariant — under any injected fault schedule, surviving records are
+byte-identical to a clean serial run, and a resume after a crash
+recomputes zero persisted cells.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..byzantine.adversary import Adversary
 from ..core.runner import Table1Row, get_row, row_applicable
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError, SweepFaultError
 from ..graphs.port_labeled import PortLabeledGraph
 from ..graphs.specs import GraphSpec, canonical_spec, graph_fingerprint, resolve_spec, spec_of
+from .faults import FaultPlan, FaultSpec, inject
 from .metrics import record_from_report
 from .store import RunStore, cell_key
 
 __all__ = [
+    "DEFAULT_POLICY",
+    "ExecutionPolicy",
     "SweepCell",
     "cell_key_of",
     "execute_plan",
@@ -269,11 +301,6 @@ def _cell_records(cell: SweepCell) -> List[Dict]:
     raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 
-def _cells_chunk(cells: List[SweepCell]) -> List[List[Dict]]:
-    """Run one submission chunk in a worker; module-level for pickling."""
-    return [_cell_records(cell) for cell in cells]
-
-
 def _wire_cell(cell: SweepCell) -> SweepCell:
     """The cell as shipped to a worker: generator graphs go as specs
     (per-worker memo), except scaling cells, whose graphs each appear in
@@ -286,12 +313,410 @@ def _wire_cell(cell: SweepCell) -> SweepCell:
     return cell
 
 
+# --------------------------------------------------------------------- #
+# Fault-tolerant execution
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Fault-tolerance knobs for :func:`execute_plan`.
+
+    ``timeout`` is a per-cell wall-clock budget in seconds (a dispatch
+    chunk's deadline is ``timeout × cells-in-chunk``); it is enforced
+    only under ``workers > 1``, where a hung worker can be killed — the
+    serial path has no preemption.  ``max_retries`` bounds how many
+    times a failing cell is re-run (``max_retries + 1`` total attempts)
+    with exponential backoff ``backoff · backoff_factor^(k-1)`` capped
+    at ``max_backoff`` seconds.  A cell that exhausts its budget is
+    *quarantined* as a structured failure record unless ``strict=True``,
+    which raises :class:`~repro.errors.SweepFaultError` instead.
+
+    :class:`~repro.errors.ReproError` is never retried or quarantined —
+    the repro hierarchy means deterministic rejection and always
+    propagates (the tolerance kind records its own rejections before
+    they ever reach the executor).
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.1
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    strict: bool = False
+
+    def __post_init__(self):
+        if self.timeout is not None and not self.timeout > 0:
+            raise ConfigurationError(
+                f"timeout must be positive or None, got {self.timeout!r}"
+            )
+        if (isinstance(self.max_retries, bool)
+                or not isinstance(self.max_retries, int) or self.max_retries < 0):
+            raise ConfigurationError(
+                f"max_retries must be a non-negative int, got {self.max_retries!r}"
+            )
+        if self.backoff < 0 or self.max_backoff < 0 or self.backoff_factor < 1:
+            raise ConfigurationError(
+                "backoff/max_backoff must be >= 0 and backoff_factor >= 1"
+            )
+
+    def delay(self, failures: int) -> float:
+        """Seconds to back off before retry number ``failures`` (1-based)."""
+        if self.backoff <= 0:
+            return 0.0
+        return min(self.backoff * self.backoff_factor ** (failures - 1),
+                   self.max_backoff)
+
+
+#: The executor's defaults: no timeout, two retries with a short
+#: exponential backoff, quarantine instead of raising.
+DEFAULT_POLICY = ExecutionPolicy()
+
+#: Per-cell outcome statuses shipped back from workers.  Values (not
+#: exceptions) cross the process boundary so one bad cell cannot poison
+#: its chunk-mates' results.
+_OK, _REJECT, _FAIL = "ok", "reject", "fail"
+
+
+def _run_job(
+    cell: SweepCell, spec: Optional[FaultSpec], attempt: int, serial: bool = False
+) -> Tuple[str, object]:
+    """One cell attempt → ``(status, payload)``.
+
+    ``payload`` is the record list (``_OK``), the original
+    :class:`ReproError` (``_REJECT`` — deterministic rejection, the
+    caller re-raises it), or a picklable ``(type name, message)`` pair
+    (``_FAIL`` — a retryable fault).
+    """
+    try:
+        inject(spec, attempt, serial=serial)
+        return (_OK, _cell_records(cell))
+    except ReproError as exc:
+        return (_REJECT, exc)
+    except Exception as exc:
+        return (_FAIL, (type(exc).__name__, str(exc)))
+
+
+def _run_chunk(jobs: List[Tuple[SweepCell, Optional[FaultSpec], int]]) -> List[Tuple[str, object]]:
+    """Run one dispatch chunk in a worker; module-level for pickling.
+    ``jobs`` pairs each wire-format cell with its injected fault (or
+    ``None``) and its 1-based dispatch attempt number."""
+    return [_run_job(cell, spec, attempt) for cell, spec, attempt in jobs]
+
+
+def _failure_records(
+    cell: SweepCell, key: str, reason: str, message: str, attempts: int
+) -> List[Dict]:
+    """The structured record list a quarantined cell contributes.
+
+    Shaped like a (failed) flat record so tables, ``success_rate`` and
+    JSON export all keep working; ``failed=True`` is the marker
+    :meth:`~repro.scenarios.ResultSet.failures` selects on, and ``key``
+    names the cell for resume/debugging even in store-less runs.
+    """
+    rec = dict(
+        kind=cell.kind, serial=cell.serial, strategy=cell.strategy,
+        seed=cell.seed, success=False, failed=True, reason=reason,
+        error=message, attempts=attempts, key=key,
+    )
+    if cell.f is not None:
+        rec["f"] = cell.f
+    if cell.placement != "lowest":
+        rec["placement"] = cell.placement
+    if cell.rounds is not None:
+        rec["rounds"] = cell.rounds
+    if cell.scheduler != "synchronous":
+        rec["scheduler"] = cell.scheduler
+    return [rec]
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a process pool: terminate workers, then shut down.
+
+    Used on timeout kills, pool breaks, and Ctrl-C — the executor never
+    waits politely on a worker it has already decided is dead or hung.
+    (``_processes`` is private executor API, but there is no public way
+    to kill a running worker; the fallback is a plain shutdown.)
+    """
+    procs = list(getattr(pool, "_processes", None) or {}.values())
+    if not isinstance(procs, list):  # pragma: no cover - defensive
+        procs = []
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown on a broken pool
+        pass
+    for proc in procs:
+        try:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        except Exception:  # pragma: no cover - already-reaped process
+            pass
+
+
+def _pop_ready(queue: deque, now: float):
+    """Remove and return the first queued group whose backoff has
+    elapsed, or ``None`` if every queued group is still backing off."""
+    for idx in range(len(queue)):
+        if queue[idx][1] <= now:
+            group = queue[idx]
+            del queue[idx]
+            return group[0]
+    return None
+
+
+def _execute_serial(
+    cells: Sequence[SweepCell],
+    pending: Sequence[int],
+    keys: Sequence[str],
+    policy: ExecutionPolicy,
+    faults: Optional[FaultPlan],
+    finish: Callable[[int, List[Dict]], None],
+    quarantine: Callable[[int, str, str, int], None],
+) -> None:
+    """In-process plan execution with the same retry/quarantine
+    semantics as the pool path (timeouts excepted — no preemption)."""
+    for i in pending:
+        spec = faults.for_key(keys[i]) if faults is not None else None
+        attempt = 0
+        failures = 0
+        while True:
+            attempt += 1
+            status, payload = _run_job(cells[i], spec, attempt, serial=True)
+            if status == _OK:
+                finish(i, payload)
+                break
+            if status == _REJECT:
+                raise payload
+            failures += 1
+            if failures > policy.max_retries:
+                quarantine(i, payload[0], payload[1], attempt)
+                break
+            time.sleep(policy.delay(failures))
+
+
+def _execute_parallel(
+    cells: Sequence[SweepCell],
+    pending: Sequence[int],
+    keys: Sequence[str],
+    workers: int,
+    chunk: int,
+    policy: ExecutionPolicy,
+    faults: Optional[FaultPlan],
+    finish: Callable[[int, List[Dict]], None],
+    quarantine: Callable[[int, str, str, int], None],
+) -> None:
+    """Sliding-window pool execution that outlives its own workers.
+
+    At most ``max_workers`` chunks are in flight at once, so every
+    failure is attributable to a small, known suspect set:
+
+    * a chunk whose future carries an *exception* failed attributably —
+      its cells are charged a retry;
+    * a chunk past its *deadline* hung — the pool is killed (there is no
+      portable way to kill one worker), the hung cells are charged, and
+      undamaged in-flight chunks are resubmitted uncharged;
+    * a ``BrokenProcessPool`` with exactly one unresolved chunk charges
+      that chunk; with several, nobody is charged — the suspects are
+      replayed one at a time (window of 1) so the next crash identifies
+      its culprit exactly, and innocents are never quarantined for a
+      chunk-mate's segfault.
+
+    Completed futures are always harvested before a kill/respawn, so
+    finished work reaches the store even when the pool dies around it.
+    On Ctrl-C, finished-but-unpersisted chunks are flushed to the store
+    before the interrupt re-raises (see ``KeyboardInterrupt`` handler).
+    """
+    size = max(1, chunk)
+    queue: deque = deque(
+        (list(pending[j:j + size]), 0.0) for j in range(0, len(pending), size)
+    )
+    max_workers = max(1, min(workers, len(queue)))
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    failures: Dict[int, int] = {i: 0 for i in pending}
+    #: cells requeued after an unattributed pool break; while any exist
+    #: the window narrows to 1 so the next break is attributable.
+    suspects: Set[int] = set()
+    done_cells: Set[int] = set()
+    inflight: Dict = {}  # future -> (indices, deadline)
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    clean = False
+
+    def spec_for(i: int) -> Optional[FaultSpec]:
+        return faults.for_key(keys[i]) if faults is not None else None
+
+    def submit(group: List[int]) -> None:
+        jobs = [(_wire_cell(cells[i]), spec_for(i), attempts[i] + 1) for i in group]
+        fut = pool.submit(_run_chunk, jobs)  # may raise BrokenProcessPool
+        for i in group:
+            attempts[i] += 1
+        deadline = (
+            time.monotonic() + policy.timeout * len(group)
+            if policy.timeout else None
+        )
+        inflight[fut] = (group, deadline)
+
+    def charge(i: int, reason: str, message: str) -> None:
+        failures[i] += 1
+        suspects.discard(i)
+        if failures[i] > policy.max_retries:
+            quarantine(i, reason, message, attempts[i])
+            done_cells.add(i)
+        else:
+            queue.appendleft(([i], time.monotonic() + policy.delay(failures[i])))
+
+    def apply_outcomes(group: List[int], outcomes) -> None:
+        for i, (status, payload) in zip(group, outcomes):
+            suspects.discard(i)
+            if status == _OK:
+                finish(i, payload)
+                done_cells.add(i)
+            elif status == _REJECT:
+                raise payload
+            else:
+                charge(i, *payload)
+
+    def harvest_finished() -> None:
+        """Apply every future that completed with a real result (work
+        finished before a crash/kill must not be lost)."""
+        for fut, (group, _) in list(inflight.items()):
+            if fut.done() and not fut.cancelled() and fut.exception() is None:
+                del inflight[fut]
+                apply_outcomes(group, fut.result())
+
+    def absorb_break() -> None:
+        """The pool died under us: save finished work, attribute or
+        requeue the rest, respawn."""
+        nonlocal pool
+        harvest_finished()
+        unresolved = [group for group, _ in inflight.values()]
+        inflight.clear()
+        _terminate_pool(pool)
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        if len(unresolved) == 1:
+            for i in unresolved[0]:
+                charge(i, "WorkerCrash",
+                       "worker process died (BrokenProcessPool)")
+        else:
+            for group in unresolved:
+                for i in group:
+                    suspects.add(i)
+                    queue.appendleft(([i], 0.0))
+
+    def expire(now: float) -> bool:
+        """Kill and respawn the pool if any chunk blew its deadline;
+        the hung cells are charged, innocents resubmitted uncharged."""
+        nonlocal pool
+        expired = [
+            fut for fut, (group, deadline) in inflight.items()
+            if deadline is not None and now >= deadline and not fut.done()
+        ]
+        if not expired:
+            return False
+        harvest_finished()
+        victims: List[int] = []
+        for fut in expired:
+            group, _ = inflight.pop(fut, (None, None))
+            if group:
+                victims.extend(group)
+        for group, _ in inflight.values():
+            queue.appendleft((group, 0.0))
+        inflight.clear()
+        _terminate_pool(pool)
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        for i in victims:
+            charge(i, "TimeoutError",
+                   f"cell exceeded the {policy.timeout}s wall-clock timeout")
+        return True
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            window = 1 if suspects else max_workers
+            broke_on_submit = False
+            while queue and len(inflight) < window:
+                group = _pop_ready(queue, now)
+                if group is None:
+                    break
+                try:
+                    submit(group)
+                except BrokenProcessPool:
+                    queue.appendleft((group, 0.0))
+                    absorb_break()
+                    broke_on_submit = True
+                    break
+            if broke_on_submit:
+                continue
+            if not inflight:
+                if not queue:
+                    break
+                # Every queued group is backing off; sleep to the earliest.
+                time.sleep(max(0.0, min(r for _, r in queue) - now))
+                continue
+            waits = [dl - now for _, dl in inflight.values() if dl is not None]
+            if queue and len(inflight) < window:
+                waits.append(min(r for _, r in queue) - now)
+            wait_for = max(0.01, min(waits)) if waits else None
+            done, _ = wait(set(inflight), timeout=wait_for,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            if not done:
+                expire(now)
+                continue
+            broke = False
+            for fut in done:
+                group, _ = inflight.pop(fut)
+                try:
+                    outcomes = fut.result()
+                except BrokenProcessPool:
+                    inflight[fut] = (group, None)  # absorb_break attributes it
+                    broke = True
+                    break
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    # The dispatch itself failed (e.g. its jobs or result
+                    # would not pickle): attributable to this chunk.
+                    for i in group:
+                        charge(i, type(exc).__name__, str(exc))
+                else:
+                    apply_outcomes(group, outcomes)
+            if broke:
+                absorb_break()
+        clean = True
+    except KeyboardInterrupt:
+        # Ctrl-C: flush chunks that already finished — their work is
+        # real, and dropping it would force recomputation on resume —
+        # then shut the pool down hard and re-raise.
+        try:
+            for fut, (group, _) in list(inflight.items()):
+                if fut.done() and not fut.cancelled() and fut.exception() is None:
+                    for i, (status, payload) in zip(group, fut.result()):
+                        if status == _OK and i not in done_cells:
+                            finish(i, payload)
+        except KeyboardInterrupt:
+            pass  # a second Ctrl-C during the flush: stop flushing
+        raise
+    finally:
+        if clean:
+            pool.shutdown(wait=True, cancel_futures=True)
+        else:
+            _terminate_pool(pool)
+
+
 def execute_plan(
     cells: Sequence[SweepCell],
     workers: Optional[int] = None,
     store: Optional[RunStore] = None,
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[List[Dict]]:
     """Execute a sweep plan; returns one record list per cell, in order.
 
@@ -300,29 +725,40 @@ def execute_plan(
     store **as it completes** — after a crash, the next run picks up
     from the last persisted cell.  ``workers > 1`` fans the pending
     cells out over a process pool in submission chunks of ``chunk``;
-    chunks are persisted in *completion* order (``as_completed``, so a
-    slow first cell cannot hold finished work out of the store) while
-    the returned list is reassembled in submission order — record values
-    and order are deterministic regardless of scheduling.
+    chunks are persisted in *completion* order (a slow first cell cannot
+    hold finished work out of the store) while the returned list is
+    reassembled in submission order — record values and order are
+    deterministic regardless of scheduling.
+
+    ``policy`` (default :data:`DEFAULT_POLICY`) governs the failure
+    paths: per-cell timeouts, bounded retries with backoff, pool respawn
+    on worker death, and quarantine-vs-``strict`` raising — see
+    :class:`ExecutionPolicy` and the module docstring.  A quarantined
+    cell's slot holds its structured failure record list (``failed=True``
+    with the cell's content ``key``), which is returned but never stored.
+    ``faults`` injects a deterministic :class:`~repro.analysis.faults.
+    FaultPlan` for chaos testing.  Cell keys are computed store or no
+    store, so retry and quarantine reporting can always name the failing
+    cell by content key.
     """
+    policy = DEFAULT_POLICY if policy is None else policy
     results: List[Optional[List[Dict]]] = [None] * len(cells)
-    keys: List[Optional[str]] = [None] * len(cells)
+    keys: List[str] = []
     pending: List[int] = []
     #: payload id -> fingerprint: a rows x strategies grid shares one
     #: graph, so hash its CSR/spec once, not once per cell.
     fingerprints: Dict[int, object] = {}
     for i, cell in enumerate(cells):
-        if store is not None:
-            fp = fingerprints.get(id(cell.payload))
-            if fp is None:
-                fp = _payload_fingerprint(cell.payload)
-                fingerprints[id(cell.payload)] = fp
-            keys[i] = cell_key_of(cell, fingerprint=fp)
-            if resume:
-                cached = store.get(keys[i])
-                if cached is not None:
-                    results[i] = cached
-                    continue
+        fp = fingerprints.get(id(cell.payload))
+        if fp is None:
+            fp = _payload_fingerprint(cell.payload)
+            fingerprints[id(cell.payload)] = fp
+        keys.append(cell_key_of(cell, fingerprint=fp))
+        if store is not None and resume:
+            cached = store.get(keys[i])
+            if cached is not None:
+                results[i] = cached
+                continue
         pending.append(i)
 
     def _finish(i: int, recs: List[Dict]) -> None:
@@ -330,20 +766,23 @@ def execute_plan(
         if store is not None:
             store.put(keys[i], recs)
 
+    def _quarantine(i: int, reason: str, message: str, attempts: int) -> None:
+        if policy.strict:
+            raise SweepFaultError(
+                f"cell {keys[i]} (kind={cells[i].kind!r}, "
+                f"serial={cells[i].serial}, strategy={cells[i].strategy!r}) "
+                f"failed {attempts} attempt(s): {reason}: {message}"
+            )
+        results[i] = _failure_records(cells[i], keys[i], reason, message, attempts)
+
     size = max(1, chunk)
-    groups = [pending[j:j + size] for j in range(0, len(pending), size)]
-    if workers and workers > 1 and len(groups) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(groups))) as pool:
-            futures = {
-                pool.submit(_cells_chunk, [_wire_cell(cells[i]) for i in group]): group
-                for group in groups
-            }
-            for fut in as_completed(futures):
-                for i, recs in zip(futures[fut], fut.result()):
-                    _finish(i, recs)
+    n_groups = -(-len(pending) // size)
+    if workers and workers > 1 and n_groups > 1:
+        _execute_parallel(cells, pending, keys, workers, chunk, policy,
+                          faults, _finish, _quarantine)
     else:
-        for i in pending:
-            _finish(i, _cell_records(cells[i]))
+        _execute_serial(cells, pending, keys, policy, faults,
+                        _finish, _quarantine)
     return results
 
 
@@ -422,18 +861,22 @@ def run_table1(
     store: Optional[RunStore] = None,
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[Dict]:
     """Reproduce every applicable Table 1 row on one graph.
 
     Deprecation shim for ``table1_grid(graph, strategies, ...).run()``.
     ``workers > 1`` fans the (row × strategy) cells out over processes;
-    a ``store`` makes the sweep resumable (see :func:`execute_plan`).
-    Record order and values match a serial, store-less run exactly.
+    a ``store`` makes the sweep resumable and ``policy`` governs the
+    failure paths (see :func:`execute_plan`).  Record order and values
+    match a serial, store-less run exactly.
     """
     from ..scenarios import table1_grid
 
     return table1_grid(graph, strategies, seed=seed, serials=serials).run(
-        workers=workers, store=store, resume=resume, chunk=chunk
+        workers=workers, store=store, resume=resume, chunk=chunk,
+        policy=policy, faults=faults,
     )
 
 
@@ -447,6 +890,8 @@ def tolerance_sweep(
     store: Optional[RunStore] = None,
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[Dict]:
     """Success vs ``f`` for one algorithm (at, below, and — where the
     driver allows — beyond its bound; out-of-range values are recorded as
@@ -459,12 +904,15 @@ def tolerance_sweep(
     serial = _registry_serial(row)
     if serial is None:
         # Hand-built row: lambdas do not pickle and the registry cannot
-        # re-resolve it, so it can be neither parallelised nor cached.
+        # re-resolve it, so it can be neither parallelised nor cached —
+        # and this direct path bypasses the executor, so ``policy`` and
+        # ``faults`` do not apply (errors propagate as they always did).
         return ResultSet(
             _tolerance_record(row, graph, f, strategy, seed) for f in f_values
         )
     return tolerance_grid(serial, graph, f_values, strategy, seed=seed).run(
-        workers=workers, store=store, resume=resume, chunk=chunk
+        workers=workers, store=store, resume=resume, chunk=chunk,
+        policy=policy, faults=faults,
     )
 
 
@@ -478,6 +926,8 @@ def scaling_sweep(
     store: Optional[RunStore] = None,
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[Dict]:
     """Measured rounds vs ``n`` across a graph family, at a fixed fraction
     of the row's tolerance (for power-law fitting against the bound).
@@ -488,6 +938,8 @@ def scaling_sweep(
 
     serial = _registry_serial(row)
     if serial is None:
+        # Hand-built row: direct serial path, no executor — ``policy``
+        # and ``faults`` do not apply (see :func:`tolerance_sweep`).
         applicable = [g for g in graphs if row_applicable(row, g)]
         fs = [int(row.f_max(g) * f_fraction_of_max) for g in applicable]
         return ResultSet(
@@ -496,7 +948,8 @@ def scaling_sweep(
         )
     return scaling_grid(
         serial, graphs, strategy, seed=seed, f_fraction_of_max=f_fraction_of_max
-    ).run(workers=workers, store=store, resume=resume, chunk=chunk)
+    ).run(workers=workers, store=store, resume=resume, chunk=chunk,
+          policy=policy, faults=faults)
 
 
 def scheduler_matrix(
@@ -509,6 +962,8 @@ def scheduler_matrix(
     store: Optional[RunStore] = None,
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[Dict]:
     """Algorithms × activation schedulers at each row's tolerance bound.
 
@@ -526,7 +981,8 @@ def scheduler_matrix(
 
     return scheduler_matrix_grid(
         rows, graph, schedulers, strategy=strategy, seed=seed
-    ).run(workers=workers, store=store, resume=resume, chunk=chunk)
+    ).run(workers=workers, store=store, resume=resume, chunk=chunk,
+          policy=policy, faults=faults)
 
 
 def strategy_matrix(
@@ -538,6 +994,8 @@ def strategy_matrix(
     store: Optional[RunStore] = None,
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[Dict]:
     """Algorithms × strategies grid at each row's tolerance bound.
 
@@ -552,7 +1010,8 @@ def strategy_matrix(
         return strategy_matrix_grid(
             [row.serial for row in applicable], graph, strategies, seed=seed,
             applicable_only=False,
-        ).run(workers=workers, store=store, resume=resume, chunk=chunk)
+        ).run(workers=workers, store=store, resume=resume, chunk=chunk,
+              policy=policy, faults=faults)
     records = ResultSet()
     for row in applicable:
         records.extend(run_table1_row(row, graph, strategies, seed=seed))

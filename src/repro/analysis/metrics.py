@@ -49,6 +49,11 @@ def success_rate(records: Iterable[Dict]) -> float:
     applicable** has no evidence of success, and reporting it as perfect
     silently masked filtered-out-everything bugs in aggregation.
     Callers that want "vacuously fine" must say so explicitly.
+
+    Quarantined failure records (``failed=True``, from the executor's
+    retry-exhaustion path) carry ``success=False`` and therefore count
+    against the rate like any other unsuccessful run — a degraded sweep
+    cannot report a clean rate.
     """
     records = list(records)
     if not records:
@@ -68,6 +73,14 @@ def summarize(records: List[Dict], group_by: str, missing=None) -> List[Dict]:
     valued axes omit their key from records for cache compatibility, so
     e.g. a scheduler matrix groups cleanly with
     ``summarize(records, "scheduler", missing="synchronous")``.
+
+    Quarantined failure records (``failed=True``) have no round metrics;
+    they count toward ``runs`` and drag ``success_rate`` down, while the
+    round statistics aggregate over the runs that actually produced
+    them.  A group that contains any failure gains a ``failed`` count
+    column; clean summaries are byte-identical to the pre-fault-
+    tolerance shape.  A group of *only* failures reports ``nan`` round
+    statistics (there are no rounds to average).
     """
     if not records:
         return []
@@ -75,18 +88,21 @@ def summarize(records: List[Dict], group_by: str, missing=None) -> List[Dict]:
     for r in records:
         groups.setdefault(r.get(group_by, missing), []).append(r)
     out = []
+    any_failed = any(r.get("failed") for r in records)
     for key in sorted(groups, key=lambda k: (str(type(k)), k)):
         rs = groups[key]
-        sims = [r["rounds_simulated"] for r in rs]
-        totals = [r["rounds_total"] for r in rs]
-        out.append(
-            {
-                group_by: key,
-                "runs": len(rs),
-                "success_rate": success_rate(rs),
-                "rounds_simulated_mean": sum(sims) / len(sims),
-                "rounds_simulated_max": max(sims),
-                "rounds_total_mean": sum(totals) / len(totals),
-            }
-        )
+        ran = [r for r in rs if not r.get("failed")]
+        sims = [r["rounds_simulated"] for r in ran]
+        totals = [r["rounds_total"] for r in ran]
+        row = {
+            group_by: key,
+            "runs": len(rs),
+            "success_rate": success_rate(rs),
+            "rounds_simulated_mean": sum(sims) / len(sims) if sims else float("nan"),
+            "rounds_simulated_max": max(sims) if sims else float("nan"),
+            "rounds_total_mean": sum(totals) / len(totals) if totals else float("nan"),
+        }
+        if any_failed:
+            row["failed"] = len(rs) - len(ran)
+        out.append(row)
     return out

@@ -277,6 +277,165 @@ class RunStore:
         self.puts += 1
 
     # ----------------------------------------------------------------- #
+    # Maintenance
+    # ----------------------------------------------------------------- #
+
+    def verify(self) -> Dict:
+        """Full-store integrity scan; returns a structured report.
+
+        Every shard line is parsed and digest-checked — not just the
+        indexed ones, so superseded duplicates and torn tails are
+        counted too.  Nothing is modified; ``ok`` is True exactly when
+        every *live* (index-winning) entry checks out, because dead
+        bytes cost space, not answers.  Report keys::
+
+            ok             True iff no live entry is corrupt
+            cells          live (indexed) entries
+            verified       live entries whose digest matched
+            corrupt        live entries that failed the digest check
+            corrupt_keys   their cell keys (sorted)
+            stale_lines    parseable lines superseded by a later put
+            torn_lines     unparseable lines (crash-torn appends etc.)
+            torn_shards    shards whose final line lacks a newline
+        """
+        live: Dict[str, Tuple[str, int]] = {}  # key -> (shard, offset)
+        stale_lines = 0
+        torn_lines = 0
+        corrupt_keys = []
+        verified = 0
+        for shard in self._shard_files():
+            offset = 0
+            with open(shard, "rb") as fh:
+                for raw in fh:
+                    start = offset
+                    offset += len(raw)
+                    try:
+                        obj = json.loads(raw.decode("utf-8"))
+                        key = obj["key"]
+                        good = obj["sha"] == _records_sha(obj["records"])
+                    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                        torn_lines += 1
+                        continue
+                    if key in live:
+                        stale_lines += 1  # earlier line loses to this one
+                    live[key] = (shard, start) if good else None
+        for key, loc in live.items():
+            if loc is None:
+                corrupt_keys.append(key)
+            else:
+                verified += 1
+        return {
+            "ok": not corrupt_keys,
+            "cells": len(live),
+            "verified": verified,
+            "corrupt": len(corrupt_keys),
+            "corrupt_keys": sorted(corrupt_keys),
+            "stale_lines": stale_lines,
+            "torn_lines": torn_lines,
+            "torn_shards": len(self._torn_shards),
+        }
+
+    def repair(self) -> Dict:
+        """Drop corrupt entries and rewrite damaged shards in place.
+
+        Each shard containing a torn line or a digest-failing live entry
+        is rewritten atomically (temp file + ``fsync`` + ``os.replace``)
+        keeping only lines that parse *and* verify; healthy shards are
+        untouched.  Superseded duplicates survive repair — reclaiming
+        them is :meth:`compact`'s job.  The in-memory index is rebuilt.
+        Returns ``{"repaired_shards": n, "dropped_lines": n,
+        "cells": live-entry count after repair}``.
+        """
+        repaired = 0
+        dropped = 0
+        for shard in self._shard_files():
+            keep: List[bytes] = []
+            dirty = False
+            with open(shard, "rb") as fh:
+                for raw in fh:
+                    try:
+                        obj = json.loads(raw.decode("utf-8"))
+                        if obj["sha"] != _records_sha(obj["records"]):
+                            raise ValueError("digest mismatch")
+                    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                        dirty = True
+                        dropped += 1
+                        continue
+                    if not raw.endswith(b"\n"):
+                        raw += b"\n"  # valid JSON, just missing its newline
+                        dirty = True
+                    keep.append(raw)
+            if not dirty:
+                continue
+            self._rewrite_shard(shard, keep)
+            repaired += 1
+        self._reload()
+        return {
+            "repaired_shards": repaired,
+            "dropped_lines": dropped,
+            "cells": len(self._index),
+        }
+
+    def compact(self) -> Dict:
+        """Rewrite every shard keeping only the winning line per key.
+
+        Reclaims the space of superseded duplicates and sheds torn or
+        corrupt lines as a side effect (a corrupt line never wins its
+        key).  Rewrites are atomic per shard; a crash mid-compaction
+        leaves each shard either fully old or fully new — both readable.
+        Returns ``{"reclaimed_bytes": n, "dropped_lines": n,
+        "cells": live-entry count}``.
+        """
+        before = sum(os.path.getsize(s) for s in self._shard_files())
+        dropped = 0
+        for shard in self._shard_files():
+            winners: Dict[str, bytes] = {}
+            total = 0
+            with open(shard, "rb") as fh:
+                for raw in fh:
+                    total += 1
+                    try:
+                        obj = json.loads(raw.decode("utf-8"))
+                        if obj["sha"] != _records_sha(obj["records"]):
+                            raise ValueError("digest mismatch")
+                    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                        continue
+                    if not raw.endswith(b"\n"):
+                        raw += b"\n"
+                    winners[obj["key"]] = raw  # later line wins
+            if total == len(winners):
+                continue  # nothing to reclaim
+            dropped += total - len(winners)
+            self._rewrite_shard(shard, list(winners.values()))
+        self._reload()
+        after = sum(os.path.getsize(s) for s in self._shard_files())
+        return {
+            "reclaimed_bytes": before - after,
+            "dropped_lines": dropped,
+            "cells": len(self._index),
+        }
+
+    def _rewrite_shard(self, shard: str, lines: List[bytes]) -> None:
+        """Atomically replace ``shard`` with ``lines`` (or delete it if
+        empty); the temp file is fsynced before the rename so a crash
+        cannot leave a half-written replacement."""
+        if not lines:
+            os.remove(shard)
+            return
+        tmp = shard + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(b"".join(lines))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, shard)
+
+    def _reload(self) -> None:
+        """Rebuild the index from disk after a maintenance rewrite."""
+        self._index.clear()
+        self._torn_shards.clear()
+        self._load_index()
+
+    # ----------------------------------------------------------------- #
     # Introspection
     # ----------------------------------------------------------------- #
 

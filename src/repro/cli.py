@@ -7,7 +7,8 @@ Commands
 ``tolerance``    sweep f for one row
 ``sweep``        resumable Table 1 grid backed by an on-disk run store
 ``scenario``     run scenario(s) from a JSON file (the declarative API)
-``store``        inspect an on-disk run store (``store stats DIR``)
+``store``        inspect or maintain an on-disk run store
+                 (``store stats|verify|compact DIR``)
 ``impossible``   run the Theorem 8 construction
 ``strategies``   list the adversary zoo and the activation schedulers
 ``bench``        microbenchmarks: engine and/or graph substrate
@@ -43,6 +44,8 @@ Examples::
     python -m repro scenario experiment.json --store runs/
     python -m repro scenario experiment.json --key   # print cell keys only
     python -m repro store stats runs/
+    python -m repro store verify runs/ --repair
+    python -m repro store compact runs/
     python -m repro impossible --n 6 --k 12 --f 6
     python -m repro bench --out benchmarks/BENCH_engine.json
     python -m repro bench --suite graphs
@@ -57,6 +60,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis import (
+    ExecutionPolicy,
     render_table,
     run_benchmark,
     run_graph_benchmark,
@@ -103,6 +107,34 @@ def _store_of(args) -> Optional[RunStore]:
     return RunStore(args.store) if getattr(args, "store", None) else None
 
 
+def _policy_of(args) -> ExecutionPolicy:
+    """The :class:`ExecutionPolicy` a plan-flagged command requested."""
+    return ExecutionPolicy(
+        timeout=getattr(args, "timeout", None),
+        max_retries=getattr(args, "retries", 2),
+        strict=getattr(args, "strict", False),
+    )
+
+
+def _print_failures(records) -> int:
+    """Print the quarantine summary table for a record list; returns the
+    failure count (0 on a healthy sweep, which prints nothing)."""
+    failed = [r for r in records if r.get("failed")]
+    if failed:
+        print()
+        print(
+            render_table(
+                failed,
+                columns=["serial", "strategy", "seed", "reason",
+                         "error", "attempts", "key"],
+                title=f"Quarantined cells ({len(failed)}) — "
+                      f"retry budget exhausted; re-run to retry, "
+                      f"--strict to fail hard",
+            )
+        )
+    return len(failed)
+
+
 def _print_store_traffic(store: Optional[RunStore]) -> None:
     if store is not None:
         print(
@@ -117,6 +149,7 @@ def _cmd_table1(args) -> int:
     records = run_table1(
         graph, strategies=[args.strategy], seed=args.seed, workers=args.workers,
         store=store, resume=args.resume, chunk=args.chunk,
+        policy=_policy_of(args),
     )
     print(
         render_table(
@@ -128,6 +161,7 @@ def _cmd_table1(args) -> int:
             title=f"Table 1 reproduction (n={graph.n}, m={graph.m}, strategy={args.strategy})",
         )
     )
+    _print_failures(records)
     _print_store_traffic(store)
     return 0 if all(r["success"] for r in records) else 1
 
@@ -168,9 +202,18 @@ def _cmd_run(args) -> int:
     )
     store = _store_of(args)
     records = scenario.run(
-        workers=args.workers, store=store, resume=args.resume, chunk=args.chunk
+        workers=args.workers, store=store, resume=args.resume, chunk=args.chunk,
+        policy=_policy_of(args),
     )
     rec = records[0]
+    if rec.get("failed"):
+        print(f"row {row.serial} (Theorem {row.theorem}), n={graph.n}, "
+              f"strategy={args.strategy}")
+        print(f"  quarantined      : {rec['reason']}: {rec['error']}")
+        print(f"  attempts         : {rec['attempts']}")
+        print(f"  cell key         : {rec['key']}")
+        _print_store_traffic(store)
+        return 1
     print(f"row {row.serial} (Theorem {row.theorem}), n={graph.n}, f={rec['f']}, "
           f"strategy={args.strategy}")
     print(f"  success          : {rec['success']}")
@@ -193,6 +236,7 @@ def _cmd_tolerance(args) -> int:
     records = tolerance_sweep(
         row, graph, fs, args.strategy, seed=args.seed, workers=args.workers,
         store=store, resume=args.resume, chunk=args.chunk,
+        policy=_policy_of(args),
     )
     print(
         render_table(
@@ -201,8 +245,9 @@ def _cmd_tolerance(args) -> int:
             title=f"Tolerance sweep, row {row.serial} (bound f<={f_max}), n={graph.n}",
         )
     )
+    failed = _print_failures(records)
     _print_store_traffic(store)
-    return 0
+    return 0 if not failed else 1
 
 
 def _parse_schedulers(text: str) -> List[str]:
@@ -253,6 +298,7 @@ def _cmd_sweep(args) -> int:
             store=store,
             resume=args.resume,
             chunk=args.chunk,
+            policy=_policy_of(args),
         )
     else:
         # Same (row, strategy) plan with the scheduler axis crossed in;
@@ -265,7 +311,7 @@ def _cmd_sweep(args) -> int:
             grid(rows=rows, graphs=graph, strategies=strategies,
                  f="max", schedulers=schedulers, seeds=args.seed).run(
                 workers=args.workers, store=store, resume=args.resume,
-                chunk=args.chunk,
+                chunk=args.chunk, policy=_policy_of(args),
             )
             if rows
             else ResultSet()
@@ -300,6 +346,7 @@ def _cmd_sweep(args) -> int:
                 title="By scheduler",
             )
         )
+    _print_failures(records)
     _print_store_traffic(store)
     return 0 if all(r["success"] for r in records) else 1
 
@@ -327,7 +374,8 @@ def _cmd_scenario(args) -> int:
     store = _store_of(args)
     try:
         records = scenario_grid.run(
-            workers=args.workers, store=store, resume=args.resume, chunk=args.chunk
+            workers=args.workers, store=store, resume=args.resume,
+            chunk=args.chunk, policy=_policy_of(args),
         )
     except ReproError as exc:
         # Predictable run-time rejections (f beyond the row's bound, a
@@ -339,16 +387,25 @@ def _cmd_scenario(args) -> int:
         print(records.to_json(indent=2))
     else:
         print(records.table(title=f"Scenario records ({len(records)})"))
+        _print_failures(records)
     _print_store_traffic(store)
     return 0 if all(r.get("success") or r.get("rejected") for r in records) else 1
 
 
+def _existing_store(path: str) -> RunStore:
+    """Open ``path`` as a store that must already exist.
+
+    Inspection and maintenance must not mutate absent paths: opening a
+    RunStore on a missing or empty directory would *create* a store
+    (makedirs + meta.json) at a typo.
+    """
+    if not Path(path).is_dir() or not (Path(path) / "meta.json").is_file():
+        raise SystemExit(f"{path!r} is not a run store (no meta.json)")
+    return RunStore(path)
+
+
 def _cmd_store(args) -> int:
-    # Inspection must not mutate disk: opening a RunStore on a missing or
-    # empty path would *create* a store (makedirs + meta.json) at a typo.
-    if not Path(args.path).is_dir() or not (Path(args.path) / "meta.json").is_file():
-        raise SystemExit(f"{args.path!r} is not a run store (no meta.json)")
-    stats = RunStore(args.path).stats()
+    stats = _existing_store(args.path).stats()
     if args.json:
         print(json.dumps(stats, indent=2))
         return 0
@@ -362,6 +419,58 @@ def _cmd_store(args) -> int:
     if stats["torn_shards"]:
         print(f"  torn shards      : {stats['torn_shards']} "
               f"(trailing crash debris; repaired on next append)")
+    return 0
+
+
+def _cmd_store_verify(args) -> int:
+    """Digest-check every entry; optionally repair in place.
+
+    Exits 0 when every live entry verifies, 1 otherwise — after
+    ``--repair``, that means 1 only if the rewrite itself failed to
+    produce a clean store.
+    """
+    store = _existing_store(args.path)
+    report = store.verify()
+    if args.repair and (not report["ok"] or report["torn_lines"]):
+        repair = store.repair()
+        report = store.verify()
+        report["repaired_shards"] = repair["repaired_shards"]
+        report["dropped_lines"] = repair["dropped_lines"]
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0 if report["ok"] else 1
+    print(f"run store {args.path}")
+    print(f"  cells verified   : {report['verified']}/{report['cells']}")
+    if report["corrupt"]:
+        print(f"  corrupt entries  : {report['corrupt']}")
+        for key in report["corrupt_keys"]:
+            print(f"    - {key}")
+    if report["torn_lines"]:
+        print(f"  torn lines       : {report['torn_lines']} (crash debris)")
+    if report["stale_lines"]:
+        print(f"  stale lines      : {report['stale_lines']} "
+              f"(superseded; 'store compact' reclaims them)")
+    if "repaired_shards" in report:
+        print(f"  repaired         : {report['repaired_shards']} shard(s) "
+              f"rewritten, {report['dropped_lines']} bad line(s) dropped")
+    elif not report["ok"]:
+        print("  (re-run with --repair to drop the corrupt entries; the "
+              "executor recomputes them on the next resumed sweep)")
+    print(f"  status           : {'ok' if report['ok'] else 'CORRUPT'}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_store_compact(args) -> int:
+    """Rewrite shards keeping only the winning line per cell key."""
+    store = _existing_store(args.path)
+    report = store.compact()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"run store {args.path}")
+    print(f"  cells            : {report['cells']}")
+    print(f"  lines dropped    : {report['dropped_lines']}")
+    print(f"  bytes reclaimed  : {report['reclaimed_bytes']:,}")
     return 0
 
 
@@ -450,6 +559,15 @@ def _add_plan_args(parser: argparse.ArgumentParser) -> None:
                         help="recompute every cell (results still appended to the store)")
     parser.add_argument("--chunk", type=int, default=1,
                         help="cells per worker dispatch chunk (default: 1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-cell wall-clock budget in seconds "
+                             "(parallel runs only; default: none)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries before a failing cell is quarantined "
+                             "(default: 2)")
+    parser.add_argument("--strict", action="store_true",
+                        help="raise on a quarantined cell instead of "
+                             "recording a structured failure")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -534,7 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     sc.set_defaults(func=_cmd_scenario)
 
     st = sub.add_parser(
-        "store", help="inspect an on-disk run store",
+        "store", help="inspect or maintain an on-disk run store",
         epilog="example: python -m repro store stats runs/",
     )
     st_sub = st.add_subparsers(dest="store_command", required=True)
@@ -546,6 +664,25 @@ def build_parser() -> argparse.ArgumentParser:
     st_stats.add_argument("--json", action="store_true",
                           help="print the stats as JSON")
     st_stats.set_defaults(func=_cmd_store)
+    st_verify = st_sub.add_parser(
+        "verify", help="digest-check every cached cell; exit 1 on corruption",
+        epilog="example: python -m repro store verify runs/ --repair",
+    )
+    st_verify.add_argument("path", help="run-store directory")
+    st_verify.add_argument("--repair", action="store_true",
+                           help="rewrite damaged shards, dropping corrupt "
+                                "lines (atomic per shard)")
+    st_verify.add_argument("--json", action="store_true",
+                           help="print the report as JSON")
+    st_verify.set_defaults(func=_cmd_store_verify)
+    st_compact = st_sub.add_parser(
+        "compact", help="reclaim superseded/corrupt lines from the shards",
+        epilog="example: python -m repro store compact runs/",
+    )
+    st_compact.add_argument("path", help="run-store directory")
+    st_compact.add_argument("--json", action="store_true",
+                            help="print the report as JSON")
+    st_compact.set_defaults(func=_cmd_store_compact)
 
     imp = sub.add_parser(
         "impossible", help="run the Theorem 8 construction",

@@ -58,6 +58,16 @@ class RoundLimitExceeded(SimulationError):
     """
 
 
+class SweepFaultError(ReproError):
+    """A sweep cell exhausted its retry budget under strict execution.
+
+    Raised by the plan executor only with ``strict=True``; the default
+    executor quarantines such cells as structured failure records
+    (``success=False, failed=True``) and keeps the sweep alive.  Carries
+    the failing cell's content key and last error in its message.
+    """
+
+
 class ConfigurationError(ReproError):
     """Invalid experiment configuration (e.g. f out of range, bad IDs)."""
 

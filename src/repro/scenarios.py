@@ -69,10 +69,12 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 
 from .analysis.experiments import (
     DEFAULT_CHUNK,
+    ExecutionPolicy,
     SweepCell,
     cell_key_of,
     execute_plan,
 )
+from .analysis.faults import FaultPlan
 from .analysis.metrics import success_rate as _success_rate
 from .analysis.metrics import summarize as _summarize
 from .analysis.store import RunStore
@@ -161,8 +163,20 @@ class ResultSet(List[Dict]):
 
     def success_rate(self) -> float:
         """Fraction of successful records (``nan`` when empty — see
-        :func:`repro.analysis.metrics.success_rate`)."""
+        :func:`repro.analysis.metrics.success_rate`).  Quarantined
+        failure records count against the rate."""
         return _success_rate(self)
+
+    def failures(self) -> "ResultSet":
+        """The quarantined failure records (``failed=True``).
+
+        These are cells the executor gave up on after exhausting their
+        retry budget — structured placeholders carrying ``reason``,
+        ``error``, ``attempts``, and the cell's content ``key`` — as
+        opposed to runs that executed and merely did not disperse
+        (``success=False`` without ``failed``).  Empty on a healthy
+        sweep."""
+        return self.filter(lambda rec: bool(rec.get("failed")))
 
     def columns(self) -> List[str]:
         """Ordered union of record keys (first-seen order; the same
@@ -507,11 +521,15 @@ class Scenario:
         store: Optional[RunStore] = None,
         resume: bool = True,
         chunk: int = DEFAULT_CHUNK,
+        policy: Optional[ExecutionPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> ResultSet:
         """Execute this scenario through the plan executor (so stores,
-        resume, and workers behave exactly as in a sweep)."""
+        resume, workers, and fault tolerance behave exactly as in a
+        sweep)."""
         return run_scenarios([self], workers=workers, store=store,
-                             resume=resume, chunk=chunk)
+                             resume=resume, chunk=chunk,
+                             policy=policy, faults=faults)
 
     # -- serialization ------------------------------------------------- #
 
@@ -607,17 +625,23 @@ def run_scenarios(
     store: Optional[RunStore] = None,
     resume: bool = True,
     chunk: int = DEFAULT_CHUNK,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ResultSet:
     """Compile scenarios to cells, execute the plan, flatten the records.
 
     The shared engine behind :meth:`Scenario.run` and
     :meth:`ScenarioGrid.run`; inherits every executor guarantee (order
     determinism, streaming store writes, warm-store zero-solver-call
-    replays, spec-shipped parallel dispatch).
+    replays, spec-shipped parallel dispatch, retry/quarantine fault
+    tolerance under ``policy``).  Quarantined cells surface in the
+    returned set as failure records — :meth:`ResultSet.failures` selects
+    them.
     """
     cells = [s.cell() for s in scenarios]
     lists = execute_plan(cells, workers=workers, store=store,
-                         resume=resume, chunk=chunk)
+                         resume=resume, chunk=chunk,
+                         policy=policy, faults=faults)
     return ResultSet(rec for recs in lists for rec in recs)
 
 
@@ -713,10 +737,13 @@ class ScenarioGrid:
         store: Optional[RunStore] = None,
         resume: bool = True,
         chunk: int = DEFAULT_CHUNK,
+        policy: Optional[ExecutionPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> ResultSet:
         """Execute the whole grid as one plan (see :func:`run_scenarios`)."""
         return run_scenarios(self.scenarios, workers=workers, store=store,
-                             resume=resume, chunk=chunk)
+                             resume=resume, chunk=chunk,
+                             policy=policy, faults=faults)
 
     def to_dicts(self) -> List[Dict]:
         """JSON-safe form: the scenario dicts, in order."""

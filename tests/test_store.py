@@ -29,11 +29,16 @@ from repro.analysis import (
     tolerance_sweep,
 )
 from repro.analysis import experiments
-from repro.analysis.experiments import SweepCell, cell_key_of, execute_plan
+from repro.analysis.experiments import (
+    ExecutionPolicy,
+    SweepCell,
+    cell_key_of,
+    execute_plan,
+)
 from repro.analysis.store import SCHEMA_VERSION, _records_sha
 from repro.byzantine import Adversary
 from repro.core import get_row
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepFaultError
 from repro.graphs import PortLabeledGraph, random_connected, spec_of
 
 
@@ -289,6 +294,60 @@ class TestCrashResume:
         assert len(calls) == 2  # only the two cells the crash lost
 
 
+class TestStoreMaintenance:
+    def test_verify_reports_stale_and_corrupt(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key_a = "aa" + "0" * 62
+        key_b = "aa" + "1" * 62
+        store.put(key_a, [{"v": 1}])
+        store.put(key_b, [{"v": 2}])
+        store.put(key_a, [{"v": 3}])  # supersede
+        report = store.verify()
+        assert report["ok"] and report["verified"] == 2
+        assert report["stale_lines"] == 1 and report["corrupt"] == 0
+        # Corrupt key_b's line on disk: verify names it.
+        shard = store._shard_path(key_b)
+        data = open(shard, "rb").read().replace(b'{"v":2}', b'{"v":8}')
+        open(shard, "wb").write(data)
+        report = store.verify()
+        assert report["ok"] is False
+        assert report["corrupt_keys"] == [key_b]
+
+    def test_repair_drops_corrupt_keeps_good(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key_a = "bb" + "0" * 62
+        key_b = "bb" + "1" * 62
+        store.put(key_a, [{"v": 1}])
+        store.put(key_b, [{"v": 2}])
+        shard = store._shard_path(key_b)
+        data = open(shard, "rb").read().replace(b'{"v":2}', b'{"v":8}')
+        open(shard, "wb").write(data)
+        fixed = RunStore(tmp_path / "store")
+        report = fixed.repair()
+        assert report["dropped_lines"] == 1 and report["cells"] == 1
+        assert fixed.get(key_a) == [{"v": 1}]
+        assert fixed.get(key_b) is None  # recomputed on the next sweep
+        assert fixed.verify()["ok"]
+
+    def test_compact_reclaims_superseded_lines(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        key = "cc" + "0" * 62
+        for v in range(5):
+            store.put(key, [{"v": v}])
+        before = store.stats()["bytes"]
+        report = store.compact()
+        assert report["dropped_lines"] == 4
+        assert report["reclaimed_bytes"] == before - store.stats()["bytes"]
+        assert store.get(key) == [{"v": 4}]
+        assert store.verify()["stale_lines"] == 0
+
+    def test_compact_noop_on_clean_store(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put("dd" + "0" * 62, [{"v": 1}])
+        assert store.compact() == {
+            "reclaimed_bytes": 0, "dropped_lines": 0, "cells": 1}
+
+
 class TestExecutePlan:
     def test_results_align_with_cells(self, g):
         cells = [
@@ -302,9 +361,23 @@ class TestExecutePlan:
         assert lists[1][0]["rejected"] is False
         assert "m" in lists[2][0]
 
-    def test_unknown_kind_rejected(self, g):
-        with pytest.raises(ValueError, match="unknown cell kind"):
-            execute_plan([SweepCell("nope", 5, g, "idle", 0, None)])
+    def test_unknown_kind_quarantined_by_default(self, g):
+        """A ValueError is a fault, not a ReproError rejection: the
+        default executor quarantines it as a structured failure record
+        instead of crashing the sweep."""
+        policy = ExecutionPolicy(max_retries=0, backoff=0.0)
+        [recs] = execute_plan([SweepCell("nope", 5, g, "idle", 0, None)],
+                              policy=policy)
+        assert recs[0]["failed"] is True
+        assert recs[0]["success"] is False
+        assert recs[0]["reason"] == "ValueError"
+        assert "unknown cell kind" in recs[0]["error"]
+
+    def test_unknown_kind_raises_under_strict(self, g):
+        policy = ExecutionPolicy(max_retries=0, backoff=0.0, strict=True)
+        with pytest.raises(SweepFaultError, match="unknown cell kind"):
+            execute_plan([SweepCell("nope", 5, g, "idle", 0, None)],
+                         policy=policy)
 
     def test_store_roundtrip_preserves_record_types(self, g, store):
         """JSON round-tripping must not perturb values: huge paper-bound
