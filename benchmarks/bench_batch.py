@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Batched-engine benchmark: SoA BatchWorld sweeps vs per-cell execution.
+
+Standalone entry point around :mod:`repro.analysis.batchbench` (the same
+harness ``python -m repro bench --suite batch`` drives).  Scenarios
+replay the repo's three sweep shapes — a seed sweep, a tolerance sweep,
+and a strategies × placements grid — through ``execute_plan`` with
+``batch=True`` (grouped struct-of-arrays execution) vs ``batch=False``
+(the per-cell oracle path); every scenario verifies the two modes
+produce byte-identical records, store cell keys, and stored cell bytes.
+
+Usage::
+
+    python benchmarks/bench_batch.py                    # defaults
+    python benchmarks/bench_batch.py --repeats 5 --cells 128
+    python benchmarks/bench_batch.py --out BENCH_batch.json
+
+The JSON output is the repo's perf-trajectory record; the checked-in
+baseline lives at ``benchmarks/BENCH_batch.json`` and is discovered and
+guarded by ``benchmarks/check_regression.py`` (same two-signal rule as
+the engine benchmark).
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.batchbench import format_batch_report, run_batch_benchmark  # noqa: E402
+from repro.analysis.benchmark import write_bench_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
+    ap.add_argument("--cells", type=int, default=64,
+                    help="simulations per scenario (the ISSUE's 64-cell sweep)")
+    ap.add_argument("--out", default="", help="write BENCH_batch.json here")
+    args = ap.parse_args(argv)
+
+    payload = run_batch_benchmark(
+        seed=args.seed, repeats=args.repeats, cells=args.cells
+    )
+    print(format_batch_report(payload))
+    if args.out:
+        write_bench_json(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0 if payload["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,12 @@
 #!/usr/bin/env python
 """Perf-regression gate: fresh microbenchmarks vs checked-in baselines.
 
-Guards **both** benchmark files — ``BENCH_engine.json`` (engine hot
-path) and ``BENCH_graphs.json`` (graph substrate) — with the same rule.
+Guards **every** ``benchmarks/BENCH_*.json`` file it discovers — the
+suite name is the filename between ``BENCH_`` and ``.json`` (engine,
+graphs, batch, …), so a new baseline is gated the day it lands without
+editing this script.  Suites with a registered runner (:data:`RUNNERS`)
+support the timing gate and ``--update``; a discovered baseline without
+one is still fully covered by ``--check-files``.
 Each suite is re-run with its baseline's own parameters and fails
 (exit 1) when a scenario regresses or when the optimized and reference
 paths stop agreeing behaviourally.  A scenario counts as regressed only
@@ -22,8 +26,9 @@ hardware variance trips at most the first.
 
 Usage::
 
-    python benchmarks/check_regression.py                 # guard both baselines
+    python benchmarks/check_regression.py                 # guard every baseline
     python benchmarks/check_regression.py --suite engine  # just the engine
+    python benchmarks/check_regression.py --suite batch   # just the batched engine
     python benchmarks/check_regression.py --tolerance 1.5
     python benchmarks/check_regression.py --update        # refresh baselines
     python benchmarks/check_regression.py --check-files   # schema/consistency only
@@ -40,28 +45,46 @@ graph-layer changes.
 """
 
 import argparse
+import glob
 import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.analysis.batchbench import run_batch_benchmark  # noqa: E402
 from repro.analysis.benchmark import run_benchmark, write_bench_json  # noqa: E402
 from repro.analysis.graphbench import run_graph_benchmark  # noqa: E402
 
 _HERE = os.path.dirname(__file__)
 
-#: suite name -> (baseline path, rerun-with-baseline-params callable).
-SUITES = {
-    "engine": (
-        os.path.join(_HERE, "BENCH_engine.json"),
-        lambda params: run_benchmark(**params),
-    ),
-    "graphs": (
-        os.path.join(_HERE, "BENCH_graphs.json"),
-        lambda params: run_graph_benchmark(**params),
-    ),
+#: suite name -> rerun-with-baseline-params callable (for the timing
+#: gate and --update).  Baseline *files* are discovered, not listed: a
+#: new BENCH_<suite>.json is schema-gated immediately, and only needs an
+#: entry here once it wants wall-clock gating too.
+RUNNERS = {
+    "engine": lambda params: run_benchmark(**params),
+    "graphs": lambda params: run_graph_benchmark(**params),
+    "batch": lambda params: run_batch_benchmark(**params),
 }
+
+
+def discover_suites():
+    """Every checked-in baseline: suite name -> baseline path.
+
+    Globs ``benchmarks/BENCH_*.json`` (the suite name is the stem
+    between the prefix and ``.json``) and unions in any registered
+    runner whose baseline is missing — so a deleted baseline fails
+    loudly instead of silently dropping out of the gate.
+    """
+    suites = {}
+    for path in sorted(glob.glob(os.path.join(_HERE, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        if name:
+            suites[name] = path
+    for name in RUNNERS:
+        suites.setdefault(name, os.path.join(_HERE, f"BENCH_{name}.json"))
+    return suites
 
 
 #: Top-level keys every bench payload must carry, and the per-scenario
@@ -197,9 +220,10 @@ def check_suite(name: str, baseline_path: str, runner, tolerance: float,
 
 
 def main(argv=None) -> int:
+    suites = discover_suites()
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--suite", choices=(*SUITES, "all"), default="all",
-                    help="which baseline(s) to guard (default: all)")
+    ap.add_argument("--suite", choices=(*suites, "all"), default="all",
+                    help="which baseline(s) to guard (default: all discovered)")
     ap.add_argument("--baseline", default=None,
                     help="override the baseline path (single suite only)")
     ap.add_argument("--tolerance", type=float, default=2.0,
@@ -214,19 +238,25 @@ def main(argv=None) -> int:
                          "(schema/consistency; no benchmark re-run)")
     args = ap.parse_args(argv)
 
-    names = list(SUITES) if args.suite == "all" else [args.suite]
+    names = list(suites) if args.suite == "all" else [args.suite]
     if args.baseline is not None and len(names) != 1:
-        ap.error("--baseline requires --suite engine or --suite graphs")
+        ap.error(f"--baseline requires naming one suite via --suite "
+                 f"({', '.join(suites)})")
     if args.check_files and args.update:
         ap.error("--check-files and --update are mutually exclusive")
 
     failures = 0
     for name in names:
-        baseline_path, runner = SUITES[name]
-        if args.baseline is not None:
-            baseline_path = args.baseline
+        baseline_path = args.baseline if args.baseline is not None else suites[name]
         if args.check_files:
             failures += check_file(name, baseline_path)
+            continue
+        runner = RUNNERS.get(name)
+        if runner is None:
+            print(f"[{name}] FAIL: no registered runner for this baseline — "
+                  f"timing gate and --update need an entry in "
+                  f"check_regression.RUNNERS (--check-files still covers it)")
+            failures += 1
             continue
         failures += check_suite(
             name, baseline_path, runner, args.tolerance, args.update,

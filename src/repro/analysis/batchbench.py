@@ -1,0 +1,203 @@
+"""Batched-engine benchmark: struct-of-arrays sweeps vs per-cell execution.
+
+Companion to :mod:`repro.analysis.benchmark` (one simulation's hot loop)
+and :mod:`repro.analysis.graphbench` (the graph substrate), covering the
+cost this PR amortises: **Python dispatch across many independent
+simulations**.  Every scenario times the same
+:class:`~repro.scenarios.ScenarioGrid` through
+:func:`~repro.analysis.experiments.execute_plan` twice — ``batch=True``
+(grouped into one :class:`~repro.sim.batch.BatchWorld` per compatible
+group) vs ``batch=False`` (the per-cell oracle path) — so the comparison
+is between two live code paths on identical workloads.
+
+Every scenario also verifies behaviour the way the batch tests do: both
+modes run once into fresh :class:`~repro.analysis.store.RunStore`\\ s and
+the verdict requires byte-identical record lists, identical store cell
+key sets, and byte-identical per-key stored records.  A speedup can
+never come from computing different answers.
+
+The payload schema matches ``BENCH_engine.json``/``BENCH_graphs.json``
+and is gated by ``benchmarks/check_regression.py``, which discovers
+``BENCH_batch.json`` like every other ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..graphs import generators as gen
+from ..graphs.quotient import is_quotient_isomorphic
+from .store import SCHEMA_VERSION as STORE_SCHEMA_VERSION
+from .store import RunStore
+from .tables import render_table
+
+__all__ = [
+    "BATCH_SCENARIOS",
+    "run_batch_benchmark",
+    "format_batch_report",
+]
+
+#: Graph size for every scenario: big enough that per-cell map
+#: construction dominates the serial path, small enough that the bench
+#: finishes in seconds.
+GRAPH_N = 16
+
+
+def _theorem1_graph(n: int, seed: int):
+    """A connected, quotient-isomorphic random graph (the Theorem 1
+    class), found by scanning generator seeds exactly like the CLI's
+    graph sampler."""
+    for s in range(seed, seed + 100):
+        g = gen.random_connected(n, seed=s)
+        if g.is_connected() and is_quotient_isomorphic(g):
+            return g
+    raise RuntimeError(f"no quotient-isomorphic graph in 100 seeds from {seed}")
+
+
+def _grid_times(sg, repeats: int):
+    """Identity verdict + best-of-``repeats`` wall time per mode.
+
+    The verdict runs each mode once into a fresh store and compares
+    record bytes, key sets, and stored cell bytes; timing runs are
+    store-less so IO never flatters either mode.
+    """
+    with tempfile.TemporaryDirectory() as da, tempfile.TemporaryDirectory() as db:
+        sa, sb = RunStore(da), RunStore(db)
+        ra = sg.run(store=sa, batch=True)
+        rb = sg.run(store=sb, batch=False)
+        keys_a, keys_b = sorted(sa.keys()), sorted(sb.keys())
+        identical = (
+            json.dumps(list(ra)) == json.dumps(list(rb))
+            and keys_a == keys_b
+            and all(
+                json.dumps(sa.get(k)) == json.dumps(sb.get(k)) for k in keys_a
+            )
+        )
+
+    def run(batch: bool) -> float:
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            sg.run(batch=batch)
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    opt = run(True)
+    ref = run(False)
+    return opt, ref, identical
+
+
+def _scenario_seed_sweep(seed: int, repeats: int, cells: int):
+    """The ISSUE's headline workload: one (graph, row, strategy, f)
+    point replicated across ``cells`` seeds — the shape of every
+    statistical sweep."""
+    from ..scenarios import grid
+
+    g = _theorem1_graph(GRAPH_N, seed)
+    sg = grid(
+        rows=[1], graphs=g, strategies="squatter", f=GRAPH_N // 2,
+        seeds=list(range(seed, seed + cells)), kind="table1",
+    )
+    return _grid_times(sg, repeats)
+
+
+def _scenario_tolerance_sweep(seed: int, repeats: int, cells: int):
+    """Tolerance-style workload: ``f`` spanning the full ``0..n-1``
+    range (so group members differ in Byzantine count), idle adversary,
+    enough seeds to reach ``cells`` simulations."""
+    from ..scenarios import grid
+
+    g = _theorem1_graph(GRAPH_N, seed)
+    n_seeds = max(1, cells // GRAPH_N)
+    sg = grid(
+        rows=[1], graphs=g, strategies="idle", f=list(range(GRAPH_N)),
+        seeds=list(range(seed, seed + n_seeds)), kind="tolerance",
+    )
+    return _grid_times(sg, repeats)
+
+
+def _scenario_mixed_axes(seed: int, repeats: int, cells: int):
+    """Strategies × placements × seeds: exercises the grouper (one
+    batch group per strategy, placements and seeds varying inside)."""
+    from ..scenarios import ScenarioGrid, grid
+
+    g = _theorem1_graph(GRAPH_N, seed)
+    strategies = ["crash", "idle", "squatter", "flag_spammer"]
+    placements = ["lowest", "highest", "random"]
+    n_seeds = max(1, cells // (len(strategies) * len(placements)))
+    scenarios = []
+    for placement in placements:
+        scenarios.extend(
+            grid(
+                rows=[1], graphs=g, strategies=strategies, f=GRAPH_N // 2,
+                seeds=list(range(seed, seed + n_seeds)), kind="table1",
+                placement=placement,
+            ).scenarios
+        )
+    return _grid_times(ScenarioGrid(scenarios), repeats)
+
+
+#: name -> callable(seed, repeats, cells) -> (optimized_s, reference_s, identical)
+BATCH_SCENARIOS: Dict[str, Callable] = {
+    "seed_sweep": _scenario_seed_sweep,
+    "tolerance_sweep": _scenario_tolerance_sweep,
+    "mixed_axes": _scenario_mixed_axes,
+}
+
+
+def run_batch_benchmark(
+    seed: int = 0,
+    repeats: int = 3,
+    cells: int = 64,
+    scenarios: Optional[List[str]] = None,
+) -> Dict:
+    """Run the batched-engine benchmark; returns the BENCH_batch payload."""
+    names = list(BATCH_SCENARIOS) if scenarios is None else list(scenarios)
+    results = []
+    for name in names:
+        opt_s, ref_s, identical = BATCH_SCENARIOS[name](seed, repeats, cells)
+        results.append(
+            {
+                "scenario": name,
+                "optimized_s": round(opt_s, 6),
+                "reference_s": round(ref_s, 6),
+                "speedup": round(ref_s / opt_s, 3) if opt_s > 0 else float("inf"),
+                "identical": identical,
+            }
+        )
+    total_opt = sum(r["optimized_s"] for r in results)
+    total_ref = sum(r["reference_s"] for r in results)
+    return {
+        "benchmark": "batch",
+        "store_schema_version": STORE_SCHEMA_VERSION,
+        "params": {"seed": seed, "repeats": repeats, "cells": cells},
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": results,
+        "total_optimized_s": round(total_opt, 6),
+        "total_reference_s": round(total_ref, 6),
+        "overall_speedup": round(total_ref / total_opt, 3) if total_opt else 0.0,
+        "all_identical": all(r["identical"] for r in results),
+    }
+
+
+def format_batch_report(payload: Dict) -> str:
+    """Human-readable report for a :func:`run_batch_benchmark` payload."""
+    table = render_table(
+        payload["scenarios"],
+        columns=["scenario", "optimized_s", "reference_s", "speedup", "identical"],
+        title="Batched engine (SoA BatchWorld vs per-cell execute_plan)",
+    )
+    return (
+        f"{table}\n"
+        f"overall speedup   : {payload['overall_speedup']}x\n"
+        f"behaviour matched : {payload['all_identical']}"
+    )

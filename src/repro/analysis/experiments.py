@@ -717,6 +717,7 @@ def execute_plan(
     chunk: int = DEFAULT_CHUNK,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    batch: bool = True,
 ) -> List[List[Dict]]:
     """Execute a sweep plan; returns one record list per cell, in order.
 
@@ -729,6 +730,17 @@ def execute_plan(
     hold finished work out of the store) while the returned list is
     reassembled in submission order — record values and order are
     deterministic regardless of scheduling.
+
+    ``batch=True`` (default) first routes *compatible* pending cells —
+    same graph fingerprint, solver serial, strategy, scheduler, and
+    round budget, differing only in seed/``f``/placement — through the
+    struct-of-arrays engine (:mod:`repro.sim.batch`), stepping a whole
+    group per round instead of one robot at a time.  Batched records
+    are byte-identical to the per-cell path (pinned by
+    ``tests/test_batch.py``); singletons, fault-injected cells, and
+    anything :mod:`repro.analysis.batching` rules out fall back to the
+    per-cell path automatically, as does a whole group on an unexpected
+    engine error.  ``batch=False`` forces per-cell execution.
 
     ``policy`` (default :data:`DEFAULT_POLICY`) governs the failure
     paths: per-cell timeouts, bounded retries with backoff, pool respawn
@@ -774,6 +786,27 @@ def execute_plan(
                 f"failed {attempts} attempt(s): {reason}: {message}"
             )
         results[i] = _failure_records(cells[i], keys[i], reason, message, attempts)
+
+    if batch and len(pending) > 1:
+        from .batching import STRICT, plan_groups, run_batch_group
+
+        groups, rest = plan_groups(
+            cells, pending, keys,
+            lambda i: fingerprints[id(cells[i].payload)], faults=faults,
+        )
+        leftovers: List[int] = []
+        for group in groups:
+            try:
+                leftovers.extend(run_batch_group(cells, group, _finish))
+            except Exception:
+                # Engine trouble must never fail a sweep the per-cell
+                # path can finish: recompute the whole group serially
+                # (where ReproErrors land on their historical per-kind
+                # paths — propagate for table1, reject for tolerance).
+                if STRICT:
+                    raise
+                leftovers.extend(group)
+        pending = sorted(rest + leftovers)
 
     size = max(1, chunk)
     n_groups = -(-len(pending) // size)
@@ -863,6 +896,7 @@ def run_table1(
     chunk: int = DEFAULT_CHUNK,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    batch: bool = True,
 ) -> List[Dict]:
     """Reproduce every applicable Table 1 row on one graph.
 
@@ -876,7 +910,7 @@ def run_table1(
 
     return table1_grid(graph, strategies, seed=seed, serials=serials).run(
         workers=workers, store=store, resume=resume, chunk=chunk,
-        policy=policy, faults=faults,
+        policy=policy, faults=faults, batch=batch,
     )
 
 
@@ -892,6 +926,7 @@ def tolerance_sweep(
     chunk: int = DEFAULT_CHUNK,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    batch: bool = True,
 ) -> List[Dict]:
     """Success vs ``f`` for one algorithm (at, below, and — where the
     driver allows — beyond its bound; out-of-range values are recorded as
@@ -912,7 +947,7 @@ def tolerance_sweep(
         )
     return tolerance_grid(serial, graph, f_values, strategy, seed=seed).run(
         workers=workers, store=store, resume=resume, chunk=chunk,
-        policy=policy, faults=faults,
+        policy=policy, faults=faults, batch=batch,
     )
 
 
@@ -928,6 +963,7 @@ def scaling_sweep(
     chunk: int = DEFAULT_CHUNK,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    batch: bool = True,
 ) -> List[Dict]:
     """Measured rounds vs ``n`` across a graph family, at a fixed fraction
     of the row's tolerance (for power-law fitting against the bound).
@@ -949,7 +985,7 @@ def scaling_sweep(
     return scaling_grid(
         serial, graphs, strategy, seed=seed, f_fraction_of_max=f_fraction_of_max
     ).run(workers=workers, store=store, resume=resume, chunk=chunk,
-          policy=policy, faults=faults)
+          policy=policy, faults=faults, batch=batch)
 
 
 def scheduler_matrix(
@@ -964,6 +1000,7 @@ def scheduler_matrix(
     chunk: int = DEFAULT_CHUNK,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    batch: bool = True,
 ) -> List[Dict]:
     """Algorithms × activation schedulers at each row's tolerance bound.
 
@@ -982,7 +1019,7 @@ def scheduler_matrix(
     return scheduler_matrix_grid(
         rows, graph, schedulers, strategy=strategy, seed=seed
     ).run(workers=workers, store=store, resume=resume, chunk=chunk,
-          policy=policy, faults=faults)
+          policy=policy, faults=faults, batch=batch)
 
 
 def strategy_matrix(
@@ -996,6 +1033,7 @@ def strategy_matrix(
     chunk: int = DEFAULT_CHUNK,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    batch: bool = True,
 ) -> List[Dict]:
     """Algorithms × strategies grid at each row's tolerance bound.
 
@@ -1011,7 +1049,7 @@ def strategy_matrix(
             [row.serial for row in applicable], graph, strategies, seed=seed,
             applicable_only=False,
         ).run(workers=workers, store=store, resume=resume, chunk=chunk,
-              policy=policy, faults=faults)
+              policy=policy, faults=faults, batch=batch)
     records = ResultSet()
     for row in applicable:
         records.extend(run_table1_row(row, graph, strategies, seed=seed))

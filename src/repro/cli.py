@@ -11,17 +11,21 @@ Commands
                  (``store stats|verify|compact DIR``)
 ``impossible``   run the Theorem 8 construction
 ``strategies``   list the adversary zoo and the activation schedulers
-``bench``        microbenchmarks: engine and/or graph substrate
-                 (``--suite engine|graphs|all``)
+``bench``        microbenchmarks: engine, graph substrate, and/or the
+                 batched sweep engine
+                 (``--suite engine|graphs|batch|all``; ``--profile``
+                 runs the suite under cProfile)
 
 Every solver-running command (``table1``, ``run``, ``tolerance``,
 ``sweep``, ``scenario``) goes through the same plan executor and accepts
 the same plan flags: ``--workers N`` fans independent cells out over
 ``N`` processes (records identical to, and ordered like, a serial run);
 ``--store DIR`` caches completed cells in a content-addressed run store;
-``--resume/--no-resume`` and ``--chunk`` control replay and dispatch.  A
-re-run of any of them against a warm store answers entirely from disk
-with zero solver calls.
+``--resume/--no-resume`` and ``--chunk`` control replay and dispatch;
+``--batch/--no-batch`` toggles the struct-of-arrays batched engine for
+compatible cells (on by default; records are byte-identical either
+way).  A re-run of any of them against a warm store answers entirely
+from disk with zero solver calls.
 
 ``scenario`` takes a JSON file holding one scenario object or a list —
 the serialized form of :class:`repro.scenarios.Scenario` — and hits
@@ -49,6 +53,8 @@ Examples::
     python -m repro impossible --n 6 --k 12 --f 6
     python -m repro bench --out benchmarks/BENCH_engine.json
     python -m repro bench --suite graphs
+    python -m repro bench --suite batch --batch-cells 64
+    python -m repro bench --suite engine --profile
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ from .analysis import (
     tolerance_sweep,
 )
 from .analysis.store import RunStore
+from .analysis.batchbench import format_batch_report, run_batch_benchmark
 from .analysis.benchmark import format_report, write_bench_json
 from .analysis.graphbench import format_graph_report
 from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
@@ -149,7 +156,7 @@ def _cmd_table1(args) -> int:
     records = run_table1(
         graph, strategies=[args.strategy], seed=args.seed, workers=args.workers,
         store=store, resume=args.resume, chunk=args.chunk,
-        policy=_policy_of(args),
+        policy=_policy_of(args), batch=args.batch,
     )
     print(
         render_table(
@@ -203,7 +210,7 @@ def _cmd_run(args) -> int:
     store = _store_of(args)
     records = scenario.run(
         workers=args.workers, store=store, resume=args.resume, chunk=args.chunk,
-        policy=_policy_of(args),
+        policy=_policy_of(args), batch=args.batch,
     )
     rec = records[0]
     if rec.get("failed"):
@@ -236,7 +243,7 @@ def _cmd_tolerance(args) -> int:
     records = tolerance_sweep(
         row, graph, fs, args.strategy, seed=args.seed, workers=args.workers,
         store=store, resume=args.resume, chunk=args.chunk,
-        policy=_policy_of(args),
+        policy=_policy_of(args), batch=args.batch,
     )
     print(
         render_table(
@@ -299,6 +306,7 @@ def _cmd_sweep(args) -> int:
             resume=args.resume,
             chunk=args.chunk,
             policy=_policy_of(args),
+            batch=args.batch,
         )
     else:
         # Same (row, strategy) plan with the scheduler axis crossed in;
@@ -311,7 +319,7 @@ def _cmd_sweep(args) -> int:
             grid(rows=rows, graphs=graph, strategies=strategies,
                  f="max", schedulers=schedulers, seeds=args.seed).run(
                 workers=args.workers, store=store, resume=args.resume,
-                chunk=args.chunk, policy=_policy_of(args),
+                chunk=args.chunk, policy=_policy_of(args), batch=args.batch,
             )
             if rows
             else ResultSet()
@@ -375,7 +383,7 @@ def _cmd_scenario(args) -> int:
     try:
         records = scenario_grid.run(
             workers=args.workers, store=store, resume=args.resume,
-            chunk=args.chunk, policy=_policy_of(args),
+            chunk=args.chunk, policy=_policy_of(args), batch=args.batch,
         )
     except ReproError as exc:
         # Predictable run-time rejections (f beyond the row's bound, a
@@ -516,33 +524,70 @@ def _warn_if_baseline_params_drift(path: str, payload: dict) -> None:
         )
 
 
-def _cmd_bench(args) -> int:
-    ok = True
-    if args.suite in ("engine", "all"):
-        payload = run_benchmark(
+#: Bench suite registry: name -> (runner(args) -> payload, formatter,
+#: the args attribute naming that suite's JSON output path).  ``--suite``
+#: choices, ``all`` expansion, and ``--profile`` all derive from this
+#: table, so a new suite plugs in with one entry.
+_BENCH_SUITES = {
+    "engine": (
+        lambda args: run_benchmark(
             n=args.n, k=args.k, rounds=args.rounds, seed=args.seed,
             repeats=args.repeats,
-        )
-        print(format_report(payload))
-        if args.out:
-            _warn_if_baseline_params_drift(args.out, payload)
-            write_bench_json(payload, args.out)
-            print(f"wrote {args.out}")
-        if args.json:
-            print(json.dumps(payload, indent=2))
-        ok = ok and payload["all_identical"]
-    if args.suite in ("graphs", "all"):
-        payload = run_graph_benchmark(
+        ),
+        format_report,
+        "out",
+    ),
+    "graphs": (
+        lambda args: run_graph_benchmark(
             seed=args.seed, repeats=args.repeats, cells=args.cells
-        )
-        print(format_graph_report(payload))
-        if args.graphs_out:
-            _warn_if_baseline_params_drift(args.graphs_out, payload)
-            write_bench_json(payload, args.graphs_out)
-            print(f"wrote {args.graphs_out}")
+        ),
+        format_graph_report,
+        "graphs_out",
+    ),
+    "batch": (
+        lambda args: run_batch_benchmark(
+            seed=args.seed, repeats=args.repeats, cells=args.batch_cells
+        ),
+        format_batch_report,
+        "batch_out",
+    ),
+}
+
+
+def _cmd_bench(args) -> int:
+    names = list(_BENCH_SUITES) if args.suite == "all" else [args.suite]
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+    ok = True
+    for name in names:
+        runner, formatter, out_attr = _BENCH_SUITES[name]
+        if profiler is not None:
+            profiler.enable()
+        payload = runner(args)
+        if profiler is not None:
+            profiler.disable()
+        print(formatter(payload))
+        out = getattr(args, out_attr)
+        if out and profiler is None:
+            # Profiled runs never refresh baselines: instrumentation
+            # inflates every timing, which would poison the gate.
+            _warn_if_baseline_params_drift(out, payload)
+            write_bench_json(payload, out)
+            print(f"wrote {out}")
         if args.json:
             print(json.dumps(payload, indent=2))
         ok = ok and payload["all_identical"]
+    if profiler is not None:
+        import pstats
+
+        print()
+        print(f"cProfile — top 20 by tottime ({', '.join(names)}):")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("tottime").print_stats(20)
+        print("(baseline files not written under --profile)")
     return 0 if ok else 1
 
 
@@ -568,6 +613,13 @@ def _add_plan_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--strict", action="store_true",
                         help="raise on a quarantined cell instead of "
                              "recording a structured failure")
+    parser.add_argument("--batch", dest="batch", action="store_true",
+                        default=True,
+                        help="group compatible cells through the batched "
+                             "struct-of-arrays engine (default; records "
+                             "byte-identical to per-cell execution)")
+    parser.add_argument("--no-batch", dest="batch", action="store_false",
+                        help="force per-cell execution for every cell")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -700,12 +752,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ls.set_defaults(func=_cmd_strategies)
 
+    suite_names = (*_BENCH_SUITES, "all")
     be = sub.add_parser(
-        "bench", help="microbenchmarks: engine and/or graph substrate",
-        epilog="example: python -m repro bench --suite all --repeats 3",
+        "bench",
+        help="microbenchmarks: engine, graph substrate, batched sweeps",
+        epilog="example: python -m repro bench --suite batch --repeats 3",
     )
-    be.add_argument("--suite", choices=("engine", "graphs", "all"), default="engine",
-                    help="which microbenchmark(s) to run (default: engine)")
+    be.add_argument("--suite", choices=suite_names, default="engine",
+                    help=f"which microbenchmark(s) to run — one of "
+                         f"{', '.join(suite_names)} (default: engine)")
     be.add_argument("--n", type=int, default=96, help="graph size (engine suite)")
     be.add_argument("--k", type=int, default=64, help="robot count (engine suite)")
     be.add_argument("--rounds", type=int, default=500,
@@ -714,12 +769,21 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     be.add_argument("--cells", type=int, default=24,
                     help="sweep cells in the dispatch scenario (graphs suite)")
+    be.add_argument("--batch-cells", type=int, default=64,
+                    help="simulations per scenario (batch suite; default: 64)")
     be.add_argument("--out", default=_default_bench_path("BENCH_engine.json"),
                     help="engine JSON output path ('' to skip writing; "
                          "default: the checked-in benchmarks/ baseline)")
     be.add_argument("--graphs-out", default=_default_bench_path("BENCH_graphs.json"),
                     help="graphs JSON output path ('' to skip writing; "
                          "default: the checked-in benchmarks/ baseline)")
+    be.add_argument("--batch-out", default=_default_bench_path("BENCH_batch.json"),
+                    help="batch JSON output path ('' to skip writing; "
+                         "default: the checked-in benchmarks/ baseline)")
+    be.add_argument("--profile", action="store_true",
+                    help="run the selected suite(s) under cProfile and print "
+                         "the top-20 functions by tottime (baseline files "
+                         "are not written)")
     be.add_argument("--json", action="store_true", help="also print the JSON payload")
     be.set_defaults(func=_cmd_bench)
     return p

@@ -523,13 +523,14 @@ class Scenario:
         chunk: int = DEFAULT_CHUNK,
         policy: Optional[ExecutionPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        batch: bool = True,
     ) -> ResultSet:
         """Execute this scenario through the plan executor (so stores,
         resume, workers, and fault tolerance behave exactly as in a
         sweep)."""
         return run_scenarios([self], workers=workers, store=store,
                              resume=resume, chunk=chunk,
-                             policy=policy, faults=faults)
+                             policy=policy, faults=faults, batch=batch)
 
     # -- serialization ------------------------------------------------- #
 
@@ -627,6 +628,7 @@ def run_scenarios(
     chunk: int = DEFAULT_CHUNK,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    batch: bool = True,
 ) -> ResultSet:
     """Compile scenarios to cells, execute the plan, flatten the records.
 
@@ -634,14 +636,15 @@ def run_scenarios(
     :meth:`ScenarioGrid.run`; inherits every executor guarantee (order
     determinism, streaming store writes, warm-store zero-solver-call
     replays, spec-shipped parallel dispatch, retry/quarantine fault
-    tolerance under ``policy``).  Quarantined cells surface in the
-    returned set as failure records — :meth:`ResultSet.failures` selects
-    them.
+    tolerance under ``policy``, batched struct-of-arrays execution of
+    compatible cells under ``batch`` — records byte-identical either
+    way).  Quarantined cells surface in the returned set as failure
+    records — :meth:`ResultSet.failures` selects them.
     """
     cells = [s.cell() for s in scenarios]
     lists = execute_plan(cells, workers=workers, store=store,
                          resume=resume, chunk=chunk,
-                         policy=policy, faults=faults)
+                         policy=policy, faults=faults, batch=batch)
     return ResultSet(rec for recs in lists for rec in recs)
 
 
@@ -739,11 +742,12 @@ class ScenarioGrid:
         chunk: int = DEFAULT_CHUNK,
         policy: Optional[ExecutionPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        batch: bool = True,
     ) -> ResultSet:
         """Execute the whole grid as one plan (see :func:`run_scenarios`)."""
         return run_scenarios(self.scenarios, workers=workers, store=store,
                              resume=resume, chunk=chunk,
-                             policy=policy, faults=faults)
+                             policy=policy, faults=faults, batch=batch)
 
     def to_dicts(self) -> List[Dict]:
         """JSON-safe form: the scenario dicts, in order."""
