@@ -8,9 +8,10 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.5.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "networkx>=3.0"],
 )

@@ -105,7 +105,7 @@ from .sim import (
     parse_scheduler,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

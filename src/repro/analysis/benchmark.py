@@ -255,5 +255,9 @@ def format_report(payload: Dict) -> str:
 def write_bench_json(payload: Dict, path: str) -> None:
     """Write the benchmark payload as pretty-printed JSON."""
     with open(path, "w") as fh:
+        # Baselines keep the payload's deliberate section order
+        # (params, scenarios, verdict); construction order is fixed in
+        # code, and check_regression.py gates the files themselves.
+        # repro: allow-unsorted-json — checked-in baseline section order
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")

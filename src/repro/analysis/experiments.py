@@ -392,6 +392,10 @@ def _run_job(
         return (_OK, _cell_records(cell))
     except ReproError as exc:
         return (_REJECT, exc)
+    # The worker fault boundary: any non-Repro crash must become a
+    # picklable retryable-fault payload (retried, then quarantined),
+    # never a worker death.
+    # repro: allow-broad-except — executor fault boundary
     except Exception as exc:
         return (_FAIL, (type(exc).__name__, str(exc)))
 
@@ -437,17 +441,21 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     (``_processes`` is private executor API, but there is no public way
     to kill a running worker; the fallback is a plain shutdown.)
     """
-    procs = list(getattr(pool, "_processes", None) or {}.values())
-    if not isinstance(procs, list):  # pragma: no cover - defensive
-        procs = []
+    # Parenthesisation matters: `x or {}.values()` would bind .values()
+    # to the fallback only and iterate the *keys* of a real _processes
+    # dict — ints, whose .terminate() raises and used to be silently
+    # swallowed by a broad except here, so workers were never killed.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
     for proc in procs:
         try:
             proc.terminate()
-        except Exception:
+        except (OSError, ValueError):  # dead or already-closed process
             pass
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:  # pragma: no cover - shutdown on a broken pool
+    # A broken pool's shutdown can raise arbitrary executor internals;
+    # teardown must proceed to the kill loop regardless.
+    except Exception:  # pragma: no cover - broken pool  # repro: allow-broad-except
         pass
     for proc in procs:
         try:
@@ -455,7 +463,7 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
             if proc.is_alive():
                 proc.kill()
                 proc.join(timeout=1.0)
-        except Exception:  # pragma: no cover - already-reaped process
+        except (OSError, ValueError):  # pragma: no cover - already-reaped process
             pass
 
 
@@ -556,7 +564,7 @@ def _execute_parallel(
         for i in group:
             attempts[i] += 1
         deadline = (
-            time.monotonic() + policy.timeout * len(group)
+            time.monotonic() + policy.timeout * len(group)  # repro: allow-wallclock — retry/timeout deadline, never recorded
             if policy.timeout else None
         )
         inflight[fut] = (group, deadline)
@@ -568,7 +576,7 @@ def _execute_parallel(
             quarantine(i, reason, message, attempts[i])
             done_cells.add(i)
         else:
-            queue.appendleft(([i], time.monotonic() + policy.delay(failures[i])))
+            queue.appendleft(([i], time.monotonic() + policy.delay(failures[i])))  # repro: allow-wallclock — retry/timeout deadline, never recorded
 
     def apply_outcomes(group: List[int], outcomes) -> None:
         for i, (status, payload) in zip(group, outcomes):
@@ -636,7 +644,7 @@ def _execute_parallel(
 
     try:
         while queue or inflight:
-            now = time.monotonic()
+            now = time.monotonic()  # repro: allow-wallclock — retry/timeout deadline, never recorded
             window = 1 if suspects else max_workers
             broke_on_submit = False
             while queue and len(inflight) < window:
@@ -664,7 +672,7 @@ def _execute_parallel(
             wait_for = max(0.01, min(waits)) if waits else None
             done, _ = wait(set(inflight), timeout=wait_for,
                            return_when=FIRST_COMPLETED)
-            now = time.monotonic()
+            now = time.monotonic()  # repro: allow-wallclock — retry/timeout deadline, never recorded
             if not done:
                 expire(now)
                 continue
@@ -679,9 +687,11 @@ def _execute_parallel(
                     break
                 except ReproError:
                     raise
+                # The dispatch itself failed (e.g. its jobs or result
+                # would not pickle): arbitrary by nature, attributable
+                # to this chunk, and converted to retry/quarantine.
+                # repro: allow-broad-except — executor fault boundary
                 except Exception as exc:
-                    # The dispatch itself failed (e.g. its jobs or result
-                    # would not pickle): attributable to this chunk.
                     for i in group:
                         charge(i, type(exc).__name__, str(exc))
                 else:
@@ -798,11 +808,12 @@ def execute_plan(
         for group in groups:
             try:
                 leftovers.extend(run_batch_group(cells, group, _finish))
+            # Engine trouble must never fail a sweep the per-cell
+            # path can finish: recompute the whole group serially
+            # (where ReproErrors land on their historical per-kind
+            # paths — propagate for table1, reject for tolerance).
+            # repro: allow-broad-except — batch-engine fallback boundary
             except Exception:
-                # Engine trouble must never fail a sweep the per-cell
-                # path can finish: recompute the whole group serially
-                # (where ReproErrors land on their historical per-kind
-                # paths — propagate for table1, reject for tolerance).
                 if STRICT:
                     raise
                 leftovers.extend(group)

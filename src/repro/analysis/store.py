@@ -188,6 +188,7 @@ class RunStore:
             json.dump(
                 {"format": "repro-run-store", "schema_version": self.schema_version},
                 fh,
+                sort_keys=True,
             )
             fh.write("\n")
         os.replace(tmp, meta_path)
@@ -258,6 +259,12 @@ class RunStore:
 
     def put(self, key: str, records: List[Dict]) -> None:
         """Append one cell's records; atomic at line granularity."""
+        # Insertion order is the contract here: records must round-trip
+        # through json.loads with their key order intact (warm-store
+        # replays are byte-compared against freshly computed records),
+        # and the envelope keys are literals.  Integrity is carried by
+        # `sha`, computed over canonical sorted JSON.
+        # repro: allow-unsorted-json — record key order is load-bearing
         line = json.dumps(
             {"key": key, "sha": _records_sha(records), "records": records},
             separators=(",", ":"),

@@ -11,6 +11,11 @@ Commands
                  (``store stats|verify|compact DIR``)
 ``impossible``   run the Theorem 8 construction
 ``strategies``   list the adversary zoo and the activation schedulers
+``lint``         determinism linter: static AST checks proving the
+                 byte-identity rules (seeded RNG only, no wall clocks,
+                 sorted iteration, canonical JSON, scenario-axis
+                 canonicalisation, exception hygiene); nonzero exit on
+                 findings, ``--format json`` for tooling
 ``bench``        microbenchmarks: engine, graph substrate, and/or the
                  batched sweep engine
                  (``--suite engine|graphs|batch|all``; ``--profile``
@@ -51,6 +56,8 @@ Examples::
     python -m repro store verify runs/ --repair
     python -m repro store compact runs/
     python -m repro impossible --n 6 --k 12 --f 6
+    python -m repro lint
+    python -m repro lint src/repro --format json --select exception-hygiene
     python -m repro bench --out benchmarks/BENCH_engine.json
     python -m repro bench --suite graphs
     python -m repro bench --suite batch --batch-cells 64
@@ -493,6 +500,41 @@ def _cmd_impossible(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint import CHECKERS, lint_paths
+
+    select = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",") if token.strip()]
+    try:
+        findings = lint_paths(args.paths or None, select=select)
+    except ValueError as exc:  # unknown checker name(s)
+        known = ", ".join(c.name for c in CHECKERS)
+        print(f"error: {exc} (known: {known})", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"\n{len(findings)} finding(s)")
+        else:
+            print("determinism lint ok: no findings")
+    return 1 if findings else 0
+
+
+def _lint_epilog() -> str:
+    from .lint import CHECKERS
+
+    lines = ["checkers (pragma escape in parentheses):"]
+    for checker in CHECKERS:
+        lines.append(f"  {checker.name} (# repro: {checker.pragma})")
+        lines.append(f"      {checker.description}")
+    lines.append("example: python -m repro lint --format json")
+    return "\n".join(lines)
+
+
 def _cmd_strategies(args) -> int:
     print("weak-model strategies  :", ", ".join(WEAK_STRATEGIES))
     print("strong-model additions :",
@@ -751,6 +793,21 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="example: python -m repro strategies",
     )
     ls.set_defaults(func=_cmd_strategies)
+
+    li = sub.add_parser(
+        "lint",
+        help="determinism linter: static proofs of the byte-identity rules",
+        epilog=_lint_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    li.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: the installed "
+                         "repro package)")
+    li.add_argument("--format", choices=("human", "json"), default="human",
+                    help="output format (default: human)")
+    li.add_argument("--select",
+                    help="comma-separated checker names to run (default: all)")
+    li.set_defaults(func=_cmd_lint)
 
     suite_names = (*_BENCH_SUITES, "all")
     be = sub.add_parser(

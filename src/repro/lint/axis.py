@@ -1,0 +1,294 @@
+"""scenario-axis-canonicalisation: the cross-module store-key contract.
+
+Since PR 4, the repo's cache-warmness guarantee has been a *convention*:
+every new :class:`~repro.scenarios.Scenario` axis (placement in PR 4,
+scheduler in PR 5) must
+
+1. carry a default value on the dataclass field,
+2. arrive at :func:`repro.analysis.store.cell_key` as a parameter with
+   that default, and
+3. join the hashed payload **only at non-default values** — the
+   drop-at-default rule — so every pre-existing store cell keeps its
+   key bit-identical and old stores stay warm.
+
+This checker mechanically enforces the convention by parsing the two
+modules' ASTs side by side:
+
+* every ``Scenario`` field must reach the key — either through the
+  frozen PR-3 base payload (``kind``/``serial``/``graph``/``adversary``/
+  ``f``/``seed``/``schema``, via the built-in field→key alias map) or as
+  a ``cell_key`` parameter;
+* every axis parameter must be written into the ``config`` payload
+  *inside* an ``if`` that tests the parameter (the drop-at-default
+  guard) — an unconditional write would re-key every existing cell, and
+  a missing write would alias distinct cells;
+* the base payload keys themselves must all be present — deleting one
+  would alias cells across kinds/graphs/seeds;
+* an axis parameter with no corresponding ``Scenario`` field is flagged
+  too (the key would carry an axis scenarios cannot express).
+
+Deleting any ``Scenario`` field's canonicalisation from ``cell_key``,
+or adding a field without a drop-at-default rule, is therefore a lint
+failure — statically, before any store sees the new axis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .base import Finding, Module, ProjectChecker
+
+__all__ = ["ScenarioAxisChecker"]
+
+#: Scenario fields folded into the frozen PR-3 base payload, and the
+#: config key each one feeds.  ``strategy`` reaches the key through the
+#: adversary descriptor (strategy name + seed); ``algorithm`` is
+#: normalised to the Table 1 serial.
+_BASE_FIELD_TO_KEY = {
+    "kind": "kind",
+    "algorithm": "serial",
+    "graph": "graph",
+    "strategy": "adversary",
+    "f": "f",
+    "seed": "seed",
+}
+
+#: Keys the base payload must always contain (the PR-3 frozen set).
+_REQUIRED_BASE_KEYS = frozenset(
+    set(_BASE_FIELD_TO_KEY.values()) | {"adversary", "schema"}
+)
+
+#: cell_key parameters that are key plumbing, not Scenario axes.
+_NON_AXIS_PARAMS = frozenset(_BASE_FIELD_TO_KEY.values()) | {"schema_version"}
+
+
+@dataclass
+class _CellKeyShape:
+    """What the ``cell_key`` AST actually encodes."""
+
+    node: ast.FunctionDef
+    #: every parameter name, in order.
+    params: List[str] = field(default_factory=list)
+    #: parameter -> whether it has a default.
+    has_default: Dict[str, bool] = field(default_factory=dict)
+    #: string keys of the ``config = {...}`` dict literal.
+    base_keys: Set[str] = field(default_factory=set)
+    #: config key -> (guarded?, names referenced by the guard test, line).
+    writes: Dict[str, Tuple[bool, Set[str], int]] = field(default_factory=dict)
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _find_function(tree: ast.AST, name: str) -> Optional[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _scenario_fields(cls: ast.ClassDef) -> List[Tuple[str, bool, int]]:
+    """``(field name, has default, line)`` for each dataclass field."""
+    out = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            out.append((stmt.target.id, stmt.value is not None, stmt.lineno))
+    return out
+
+
+def _cell_key_shape(fn: ast.FunctionDef) -> _CellKeyShape:
+    shape = _CellKeyShape(node=fn)
+    args = fn.args
+    positional = args.posonlyargs + args.args
+    n_defaults = len(args.defaults)
+    for i, arg in enumerate(positional):
+        shape.params.append(arg.arg)
+        shape.has_default[arg.arg] = i >= len(positional) - n_defaults
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        shape.params.append(arg.arg)
+        shape.has_default[arg.arg] = default is not None
+
+    config_names: Set[str] = set()
+
+    def visit(stmts: Sequence[ast.stmt], guards: Tuple[ast.expr, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    # config = { ... }  (the base payload literal)
+                    if (isinstance(target, ast.Name)
+                            and isinstance(stmt.value, ast.Dict)):
+                        keys = {
+                            k.value for k in stmt.value.keys
+                            if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                        }
+                        # Heuristic: the payload dict is the one holding
+                        # the frozen base keys.
+                        if keys & _REQUIRED_BASE_KEYS:
+                            config_names.add(target.id)
+                            shape.base_keys |= keys
+                    # config["axis"] = value
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in config_names
+                            and isinstance(target.slice, ast.Constant)
+                            and isinstance(target.slice.value, str)):
+                        guard_names: Set[str] = set()
+                        for guard in guards:
+                            guard_names |= _names_in(guard)
+                        shape.writes[target.slice.value] = (
+                            bool(guards), guard_names, stmt.lineno,
+                        )
+            if isinstance(stmt, ast.If):
+                visit(stmt.body, guards + (stmt.test,))
+                visit(stmt.orelse, guards)
+            elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+                visit(stmt.body, guards)
+
+    visit(fn.body, ())
+    return shape
+
+
+class ScenarioAxisChecker(ProjectChecker):
+    """Prove the Scenario ↔ cell_key drop-at-default contract statically."""
+
+    name = "scenario-axis-canonicalisation"
+    pragma = "allow-axis"
+    description = ("every Scenario field must reach cell_key's payload, "
+                   "new axes only behind a drop-at-default guard")
+    hint = ("a new Scenario axis needs: a dataclass default, a cell_key "
+            "parameter with the same default, and a guarded "
+            "`if axis != default: config[\"axis\"] = axis` write "
+            "(see the placement/rounds/scheduler axes)")
+
+    #: The two modules the contract spans.
+    scenarios_suffix = "repro/scenarios.py"
+    store_suffix = "repro/analysis/store.py"
+
+    def _pick(self, modules: Sequence[Module], suffix: str) -> Optional[Module]:
+        for module in modules:
+            if module.posix.endswith(suffix):
+                return module
+        return None
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        scen_mod = self._pick(modules, self.scenarios_suffix)
+        store_mod = self._pick(modules, self.store_suffix)
+        if scen_mod is None and store_mod is None:
+            return  # linting an unrelated tree: nothing to prove
+        if scen_mod is None or store_mod is None:
+            present = scen_mod or store_mod
+            missing = self.store_suffix if store_mod is None else self.scenarios_suffix
+            finding = self.emit(
+                present, present.tree,
+                f"cannot verify the scenario-axis contract: {missing} "
+                f"is not in the linted tree",
+            )
+            if finding is not None:
+                yield finding
+            return
+
+        scenario_cls = _find_class(scen_mod.tree, "Scenario")
+        cell_key_fn = _find_function(store_mod.tree, "cell_key")
+        if scenario_cls is None:
+            finding = self.emit(scen_mod, scen_mod.tree,
+                                "no Scenario class found to check")
+            if finding is not None:
+                yield finding
+            return
+        if cell_key_fn is None:
+            finding = self.emit(store_mod, store_mod.tree,
+                                "no cell_key function found to check")
+            if finding is not None:
+                yield finding
+            return
+
+        shape = _cell_key_shape(cell_key_fn)
+        fields = _scenario_fields(scenario_cls)
+        field_names = {name for name, _, _ in fields}
+
+        # 1. The frozen base payload must be intact.
+        for key in sorted(_REQUIRED_BASE_KEYS - shape.base_keys):
+            finding = self.emit(
+                store_mod, shape.node,
+                f"cell_key's base payload lost the {key!r} slot — "
+                f"distinct cells would alias one store key",
+            )
+            if finding is not None:
+                yield finding
+
+        # 2. Every Scenario field must reach the key.
+        for name, has_default, line in fields:
+            if scen_mod.allowed(self.pragma, line):
+                continue
+            if name in _BASE_FIELD_TO_KEY:
+                continue  # rides the base payload, checked above
+            anchor = ast.copy_location(ast.Pass(), scenario_cls)
+            anchor.lineno = line
+            if not has_default:
+                yield Finding(
+                    checker=self.name, path=scen_mod.relpath, line=line, col=0,
+                    message=(f"Scenario axis {name!r} has no default — old "
+                             f"cells could not canonicalise it out of their keys"),
+                    hint=self.hint,
+                )
+                continue
+            if name not in shape.has_default:
+                yield Finding(
+                    checker=self.name, path=scen_mod.relpath, line=line, col=0,
+                    message=(f"Scenario axis {name!r} never reaches cell_key — "
+                             f"two scenarios differing only in {name!r} would "
+                             f"share a store key"),
+                    hint=self.hint,
+                )
+                continue
+            if not shape.has_default[name]:
+                yield Finding(
+                    checker=self.name, path=store_mod.relpath,
+                    line=shape.node.lineno, col=shape.node.col_offset,
+                    message=(f"cell_key parameter {name!r} has no default — "
+                             f"the drop-at-default rule cannot hold"),
+                    hint=self.hint,
+                )
+            write = shape.writes.get(name)
+            if write is None:
+                yield Finding(
+                    checker=self.name, path=store_mod.relpath,
+                    line=shape.node.lineno, col=shape.node.col_offset,
+                    message=(f"cell_key accepts {name!r} but never writes it "
+                             f"into the payload — the axis would not affect "
+                             f"the key"),
+                    hint=self.hint,
+                )
+                continue
+            guarded, guard_names, write_line = write
+            if not guarded or name not in guard_names:
+                yield Finding(
+                    checker=self.name, path=store_mod.relpath,
+                    line=write_line, col=0,
+                    message=(f"axis {name!r} joins the key payload without a "
+                             f"drop-at-default guard (`if {name} != default:`) "
+                             f"— every existing cell would be re-keyed"),
+                    hint=self.hint,
+                )
+
+        # 3. No key axis without a Scenario field to drive it.
+        for param in shape.params:
+            if param in _NON_AXIS_PARAMS or param in field_names:
+                continue
+            finding = self.emit(
+                store_mod, shape.node,
+                f"cell_key axis {param!r} has no Scenario field — scenarios "
+                f"could never address cells keyed with it",
+            )
+            if finding is not None:
+                yield finding

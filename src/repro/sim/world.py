@@ -340,7 +340,7 @@ class World:
                 else:
                     dlst.append(robot)
                     touched.add(dest)
-            for node in touched:
+            for node in sorted(touched):
                 by_node[node].sort(key=_SEQ_KEY)
 
         # Board decay: this round's board becomes readable for one more

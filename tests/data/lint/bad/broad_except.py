@@ -1,0 +1,22 @@
+"""Fixture: handlers exception-hygiene must catch."""
+
+
+def run(task):
+    try:
+        return task()
+    except Exception:
+        return None
+
+
+def run_bare(task):
+    try:
+        return task()
+    except:  # noqa: E722
+        return None
+
+
+def run_tuple(task):
+    try:
+        return task()
+    except (ValueError, BaseException):
+        return None

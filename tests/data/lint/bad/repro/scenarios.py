@@ -1,0 +1,16 @@
+"""Fixture: a Scenario whose axes break the store-key contract."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scenario:
+    algorithm: str
+    graph: str
+    humidity: int            # axis without a default: cannot drop-at-default
+    strategy: str = "squatter"
+    f: str = "max"
+    kind: str = "table1"
+    seed: int = 0
+    rounds: object = None    # cell_key accepts it but never writes it
+    scheduler: str = "synchronous"  # written unconditionally in cell_key
+    weather: str = "sunny"   # never reaches cell_key at all

@@ -1,0 +1,16 @@
+"""Fixture: every form of global-state RNG no-unseeded-rng must catch."""
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def draw():
+    random.seed(7)                   # module-level global state
+    x = random.random()              # module-level global state
+    shuffle([1, 2, 3])               # from-imported global-state function
+    unseeded = random.Random()       # no seed: OS entropy
+    sysrng = random.SystemRandom()   # OS entropy by design
+    y = np.random.rand(3)            # numpy legacy global state
+    z = np.random.default_rng()      # no seed: OS entropy
+    return x, unseeded, sysrng, y, z

@@ -1,0 +1,15 @@
+"""Fixture: hash-ordered set iteration no-unordered-iteration must catch."""
+
+
+def emit(ids):
+    seen = set(ids)
+    out = []
+    for rid in seen:                      # for over a local set
+        out.append(rid)
+    for pair in {("a", 1), ("b", 2)}:     # for over a set literal
+        out.append(pair)
+    listed = list({3, 1, 2})              # materialises set order
+    joined = ",".join({"a", "b"})         # string order from set order
+    squares = [x * x for x in set(ids)]   # comprehension over a set
+    merged = [x for x in seen | {0}]      # set-operator expression
+    return out, listed, joined, squares, merged

@@ -1,0 +1,12 @@
+"""Fixture: clock reads no-wallclock-in-records must catch."""
+import time
+from datetime import date, datetime
+
+
+def stamp():
+    t0 = time.time()
+    t1 = time.perf_counter()
+    t2 = time.monotonic()
+    when = datetime.now()
+    today = date.today()
+    return t0, t1, t2, when, today

@@ -1,0 +1,23 @@
+"""Fixture: exception handling exception-hygiene allows — narrow types,
+ReproError for deterministic rejection, pragma'd fault boundaries."""
+
+
+class ReproError(Exception):
+    pass
+
+
+def run(task):
+    try:
+        return task()
+    except ReproError:      # deterministic rejection: the legitimate catch
+        return None
+    except (OSError, ValueError):
+        return None
+
+
+def fault_boundary(task):
+    try:
+        return task()
+    # repro: allow-broad-except — fixture executor fault boundary
+    except Exception:
+        return None

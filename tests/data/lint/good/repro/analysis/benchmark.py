@@ -1,0 +1,9 @@
+"""Fixture: bench modules are exempt from no-wallclock-in-records —
+timing the harness is their whole job."""
+import time
+
+
+def measure(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

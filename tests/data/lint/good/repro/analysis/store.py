@@ -1,0 +1,25 @@
+"""Fixture: a cell_key that mirrors the real drop-at-default contract."""
+import hashlib
+import json
+
+
+def cell_key(kind, serial, graph, adversary, f, seed,
+             placement="lowest", rounds=None, scheduler="synchronous",
+             schema_version=1):
+    config = {
+        "kind": kind,
+        "serial": serial,
+        "graph": graph,
+        "adversary": adversary,
+        "f": f,
+        "seed": seed,
+        "schema": schema_version,
+    }
+    if placement != "lowest":
+        config["placement"] = placement
+    if rounds is not None:
+        config["rounds"] = rounds
+    if scheduler != "synchronous":
+        config["scheduler"] = scheduler
+    payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

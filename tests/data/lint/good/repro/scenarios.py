@@ -1,0 +1,16 @@
+"""Fixture: a Scenario whose axes honour the store-key contract."""
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Scenario:
+    algorithm: str
+    graph: str
+    strategy: str = "squatter"
+    f: str = "max"
+    kind: str = "table1"
+    placement: str = "lowest"
+    seed: int = 0
+    rounds: Optional[int] = None
+    scheduler: str = "synchronous"

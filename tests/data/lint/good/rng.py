@@ -1,0 +1,11 @@
+"""Fixture: the seeded-stream RNG discipline no-unseeded-rng allows."""
+import random
+
+import numpy as np
+
+
+def draw(seed: int):
+    rng = np.random.default_rng((seed, 0xA11))   # explicit seed stream
+    sub = np.random.default_rng(np.random.SeedSequence(seed))
+    legacy = random.Random(seed)                 # seeded instance is fine
+    return rng.random(), sub.random(), legacy.random()

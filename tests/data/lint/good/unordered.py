@@ -1,0 +1,13 @@
+"""Fixture: order-safe set consumption no-unordered-iteration allows."""
+
+
+def emit(ids):
+    seen = set(ids)
+    out = [rid for rid in sorted(seen)]       # sorted() erases hash order
+    count = len(seen)                          # order-insensitive
+    biggest = max(seen) if seen else None      # order-insensitive
+    rebuilt = {x for x in seen}                # set-to-set stays order-free
+    total = sum(x for x in seen)               # order-insensitive consumer
+    present = 3 in seen                        # membership, no iteration
+    ranked = sorted(x * x for x in seen)       # sorted() wraps the genexp
+    return out, count, biggest, rebuilt, total, present, ranked

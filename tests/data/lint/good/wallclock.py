@@ -1,0 +1,9 @@
+"""Fixture: what no-wallclock-in-records allows — sleeps (no value read)
+and pragma-justified timeout machinery."""
+import time
+
+
+def pause():
+    time.sleep(0.0)  # consumes time, reads no clock value
+    deadline = time.monotonic()  # repro: allow-wallclock — fixture deadline math, never recorded
+    return deadline

@@ -43,6 +43,29 @@ def test_no_dangling_relative_links():
     assert check_docs.check_relative_links() == []
 
 
+def test_lint_registry_matches_experiments_table():
+    assert check_docs.check_lint_registry() == []
+
+
+def test_lint_registry_catches_drift(tmp_path, monkeypatch):
+    # A registered checker missing from the table, and a documented
+    # checker no registry entry backs, are both gate failures.
+    real = (check_docs.REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    drifted = real.replace("`no-unseeded-rng`", "`no-entropy-leaks`")
+    (tmp_path / "EXPERIMENTS.md").write_text(drifted, encoding="utf-8")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    errors = check_docs.check_lint_registry()
+    assert any("'no-unseeded-rng' is registered but missing" in e for e in errors)
+    assert any("'no-entropy-leaks'" in e and "not a registered" in e for e in errors)
+
+
+def test_lint_registry_requires_the_section(tmp_path, monkeypatch):
+    (tmp_path / "EXPERIMENTS.md").write_text("# EXPERIMENTS\n", encoding="utf-8")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    errors = check_docs.check_lint_registry()
+    assert errors == ['EXPERIMENTS.md: no "## Determinism rules" section']
+
+
 def test_link_checker_sees_through_fences(tmp_path, monkeypatch):
     # Links inside fenced code blocks are not links; links outside are.
     doc = tmp_path / "DOC.md"

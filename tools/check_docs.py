@@ -10,6 +10,11 @@ Two checks, both deterministic and network-free:
 2. **Relative-link validation** — every relative link target in the
    repo's Markdown docs must exist on disk.  Docs rot by renames; this
    catches the rename that forgot its references.
+3. **Lint-registry sync** — the "Determinism rules" table in
+   EXPERIMENTS.md must name exactly the checkers (and pragmas) that
+   ``repro lint`` actually registers.  A checker added without a
+   documented rule, or a documented rule whose checker was renamed
+   away, fails the gate.
 
 Run:  python tools/check_docs.py   (exit 0 = docs healthy)
 """
@@ -112,8 +117,59 @@ def check_relative_links() -> List[str]:
     return errors
 
 
+def check_lint_registry() -> List[str]:
+    """EXPERIMENTS.md's Determinism-rules table ↔ the lint registry."""
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.lint import CHECKERS  # noqa: PLC0415 - after sys.path setup
+
+    doc = REPO_ROOT / "EXPERIMENTS.md"
+    if not doc.is_file():
+        return ["EXPERIMENTS.md is missing"]
+    text = doc.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Determinism rules$(.*?)(?=^## |\Z)", text,
+        flags=re.MULTILINE | re.DOTALL,
+    )
+    if match is None:
+        return ['EXPERIMENTS.md: no "## Determinism rules" section']
+    section = match.group(1)
+
+    # Checker names / pragmas live in the table's last two columns as
+    # backticked tokens; collect every backticked token in table rows.
+    documented = set()
+    for line in section.splitlines():
+        if line.lstrip().startswith("|"):
+            documented.update(re.findall(r"`([A-Za-z0-9#:\s\-]+)`", line))
+
+    errors = []
+    registry_names = {checker.name for checker in CHECKERS}
+    for checker in CHECKERS:
+        if checker.name not in documented:
+            errors.append(
+                f"EXPERIMENTS.md: checker {checker.name!r} is registered "
+                f"but missing from the Determinism rules table"
+            )
+        pragma = f"# repro: {checker.pragma}"
+        if pragma not in documented:
+            errors.append(
+                f"EXPERIMENTS.md: pragma {pragma!r} ({checker.name}) is "
+                f"missing from the Determinism rules table"
+            )
+    for token in sorted(documented):
+        looks_like_checker = re.fullmatch(r"[a-z][a-z0-9-]+", token)
+        if looks_like_checker and "-" in token and token not in registry_names:
+            errors.append(
+                f"EXPERIMENTS.md: Determinism rules table names {token!r}, "
+                f"which is not a registered checker"
+            )
+    return errors
+
+
 def main() -> int:
     errors = check_relative_links()
+    errors.extend(check_lint_registry())
     readme = REPO_ROOT / "README.md"
     if not readme.is_file():
         errors.append("README.md is missing")

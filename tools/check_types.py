@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Type-check ratchet: mypy over the typed core, gated by a baseline.
+
+Runs ``mypy`` (config in ``mypy.ini``: the typed core is ``errors.py``,
+``scenarios.py``, ``graphs/specs.py``, ``analysis/store.py``) and
+compares the error count against the checked-in baseline in
+``tools/mypy_baseline.json``:
+
+* more errors than the baseline  -> exit 1 (a typing regression);
+* fewer errors than the baseline -> exit 0, with a reminder to ratchet
+  the baseline down (``--update`` rewrites it to the actual count);
+* mypy not installed             -> exit 0 with a skip notice, so the
+  check degrades gracefully in minimal environments (CI installs mypy;
+  the offline dev container may not have it).
+
+The baseline may only ever decrease: ``--update`` refuses to raise it.
+
+Run:  python tools/check_types.py [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "tools" / "mypy_baseline.json"
+
+_SUMMARY_RE = re.compile(r"Found (\d+) errors?")
+
+
+def load_baseline() -> dict:
+    try:
+        return json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        print(f"TYPES: missing or unreadable baseline {BASELINE_PATH}", file=sys.stderr)
+        sys.exit(1)
+
+
+def run_mypy() -> tuple[int, str]:
+    """Returns ``(error count, raw output)``; exits 0 early if mypy is
+    absent."""
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", str(REPO_ROOT / "mypy.ini")],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+    except FileNotFoundError:
+        print("types: skipped (python executable missing?)")
+        sys.exit(0)
+    output = proc.stdout + proc.stderr
+    if "No module named mypy" in output:
+        print("types: skipped — mypy is not installed in this environment")
+        sys.exit(0)
+    if proc.returncode == 0:
+        return 0, output
+    match = _SUMMARY_RE.search(output)
+    if match:
+        return int(match.group(1)), output
+    # mypy crashed or produced no summary: treat as failure, show why.
+    print(output, file=sys.stderr)
+    print("TYPES: mypy did not produce an error summary", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="ratchet the baseline down to the actual count "
+                             "(refuses to raise it)")
+    args = parser.parse_args()
+
+    baseline = load_baseline()
+    allowed = int(baseline["max_errors"])
+    count, output = run_mypy()
+
+    if count > allowed:
+        print(output, file=sys.stderr)
+        print(f"TYPES: {count} mypy errors > baseline {allowed} — "
+              f"typing of the core regressed", file=sys.stderr)
+        return 1
+    if count < allowed:
+        if args.update:
+            baseline["max_errors"] = count
+            BASELINE_PATH.write_text(
+                json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"types: baseline ratcheted down {allowed} -> {count}")
+            return 0
+        print(f"types ok: {count} errors (baseline {allowed} — run "
+              f"`python tools/check_types.py --update` to ratchet down)")
+        return 0
+    print(f"types ok: {count} errors (at baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
