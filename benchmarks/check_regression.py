@@ -55,6 +55,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.analysis.batchbench import run_batch_benchmark  # noqa: E402
 from repro.analysis.benchmark import run_benchmark, write_bench_json  # noqa: E402
 from repro.analysis.graphbench import run_graph_benchmark  # noqa: E402
+from repro.analysis.servebench import run_serve_benchmark  # noqa: E402
 
 _HERE = os.path.dirname(__file__)
 
@@ -66,6 +67,7 @@ RUNNERS = {
     "engine": lambda params: run_benchmark(**params),
     "graphs": lambda params: run_graph_benchmark(**params),
     "batch": lambda params: run_batch_benchmark(**params),
+    "serve": lambda params: run_serve_benchmark(**params),
 }
 
 

@@ -86,6 +86,7 @@ from .errors import (
     ReproError,
     SimulationError,
     SweepFaultError,
+    ValidationError,
 )
 from .scenarios import (
     ResultSet,
@@ -105,7 +106,7 @@ from .sim import (
     parse_scheduler,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -151,4 +152,5 @@ __all__ = [
     "SimulationError",
     "SweepFaultError",
     "ConfigurationError",
+    "ValidationError",
 ]

@@ -1,0 +1,228 @@
+# repro: allow-wallclock file — this module exists to measure request latency; its output is a perf baseline, never solver records or store cells
+"""Serve-subsystem benchmark: cold/warm/deduped request throughput.
+
+Boots the real serve stack (:class:`repro.serve.ServerThread` on an
+ephemeral port, fresh temporary store) and drives it with a threaded
+``http.client`` load generator — the first user-facing throughput
+number on the ROADMAP's millions-of-users axis.  Three workloads:
+
+* **cold** — every request computes (store empty, distinct cells).
+  The reference is the same cells run directly through
+  ``execute_plan`` serially: speedup ≈ worker parallelism minus HTTP
+  overhead.
+* **warm** — the same requests again: answered from the store with
+  zero solver calls.  Reference: what recomputing would cost.
+* **dedup** — N concurrent identical requests for one fresh cell:
+  single-flight collapses them onto one computation.  Reference: the
+  N solver runs a dedup-free server would do.
+
+``identical`` per workload asserts the served records equal the
+direct-execution records (and, for dedup, that exactly one computation
+happened), so the gate catches behavioural drift, not just slowdowns.
+The payload shape matches every other ``BENCH_*.json`` and is gated by
+``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import platform
+import shutil
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from ..scenarios import Scenario, run_scenarios
+from .store import RunStore
+from .store import SCHEMA_VERSION as STORE_SCHEMA_VERSION
+
+__all__ = ["format_serve_report", "run_serve_benchmark"]
+
+#: Benchmark cells: Table 1 row 4 on a small random connected graph,
+#: the seed axis fanning out distinct store cells.
+_ROW = 4
+_GRAPH_N = 7
+
+
+def _scenario_dict(n: int, graph_seed: int, run_seed: int) -> Dict:
+    return {
+        "algorithm": _ROW,
+        "graph": {"family": "random_connected",
+                  "args": {"n": n, "seed": graph_seed}},
+        "strategy": "squatter",
+        "f": "max",
+        "seed": run_seed,
+    }
+
+
+def _post_run(host: str, port: int, payload: Dict,
+              timeout: float = 120.0) -> Tuple[int, Dict, float]:
+    """One ``POST /run``; returns (status, body, latency seconds)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload)
+        t0 = time.perf_counter()
+        conn.request("POST", "/run", body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        elapsed = time.perf_counter() - t0
+        return response.status, data, elapsed
+    finally:
+        conn.close()
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _drive(server, payloads: List[Dict], clients: int):
+    """Fire all payloads with ``clients`` concurrent connections."""
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        results = list(pool.map(
+            lambda p: _post_run(server.host, server.port, p), payloads
+        ))
+    wall = time.perf_counter() - t0
+    latencies = sorted(r[2] for r in results)
+    return results, wall, latencies
+
+
+def _workload_entry(name: str, requests: int, wall: float, ref: float,
+                    latencies: List[float], identical: bool) -> Dict:
+    return {
+        "scenario": name,
+        "requests": requests,
+        "optimized_s": round(wall, 6),
+        "reference_s": round(ref, 6),
+        "speedup": round(ref / wall, 3) if wall > 0 else float("inf"),
+        "identical": identical,
+        "rps": round(requests / wall, 2) if wall > 0 else float("inf"),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def run_serve_benchmark(
+    seed: int = 0,
+    repeats: int = 1,
+    cells: int = 6,
+    clients: int = 4,
+    dedup_clients: int = 8,
+    workers: int = 4,
+    n: int = _GRAPH_N,
+) -> Dict:
+    """Run the serve benchmark; returns the BENCH_serve payload.
+
+    ``repeats`` re-runs the full cycle (fresh store + server each time)
+    and keeps the best wall time per workload — same best-of convention
+    as the other suites.
+    """
+    from ..serve import ServerThread  # deferred: serve pulls in asyncio machinery
+
+    cold_payloads = [_scenario_dict(n, seed, seed + i) for i in range(cells)]
+    dedup_payload = _scenario_dict(n, seed, seed + cells)
+
+    # Direct references (once; deterministic, so repeats can't differ
+    # behaviourally — only their timings, and best-of covers that).
+    direct: List[List[Dict]] = []
+    t0 = time.perf_counter()
+    for payload in cold_payloads:
+        direct.append(list(run_scenarios([Scenario.from_dict(payload)],
+                                         store=None, batch=False)))
+    direct_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dedup_direct = list(run_scenarios([Scenario.from_dict(dedup_payload)],
+                                      store=None, batch=False))
+    dedup_single_s = time.perf_counter() - t0
+
+    best: Dict[str, Dict] = {}
+    for _ in range(max(1, repeats)):
+        tmp = tempfile.mkdtemp(prefix="repro-servebench-")
+        try:
+            with ServerThread(store=RunStore(tmp), workers=workers) as server:
+                # cold: distinct cells, empty store
+                results, wall, lat = _drive(server, cold_payloads, clients)
+                identical = all(
+                    status == 200 and body["records"] == ref
+                    for (status, body, _), ref in zip(results, direct)
+                )
+                entry = _workload_entry("cold", cells, wall, direct_cold_s,
+                                        lat, identical)
+                if "cold" not in best or entry["optimized_s"] < best["cold"]["optimized_s"]:
+                    best["cold"] = entry
+
+                # warm: the same requests answered from the store
+                results, wall, lat = _drive(server, cold_payloads, clients)
+                identical = all(
+                    status == 200 and body["status"] == "warm"
+                    and body["records"] == ref
+                    for (status, body, _), ref in zip(results, direct)
+                )
+                entry = _workload_entry("warm", cells, wall, direct_cold_s,
+                                        lat, identical)
+                if "warm" not in best or entry["optimized_s"] < best["warm"]["optimized_s"]:
+                    best["warm"] = entry
+
+                # dedup: N concurrent identical requests, one fresh cell
+                computed_before = server.service.counters["computed"]
+                results, wall, lat = _drive(
+                    server, [dedup_payload] * dedup_clients, dedup_clients
+                )
+                computed = server.service.counters["computed"] - computed_before
+                identical = computed == 1 and all(
+                    status == 200 and body["records"] == dedup_direct
+                    for status, body, _ in results
+                )
+                entry = _workload_entry(
+                    "dedup", dedup_clients, wall,
+                    dedup_single_s * dedup_clients, lat, identical,
+                )
+                if "dedup" not in best or entry["optimized_s"] < best["dedup"]["optimized_s"]:
+                    best["dedup"] = entry
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    results = [best["cold"], best["warm"], best["dedup"]]
+    total_opt = sum(r["optimized_s"] for r in results)
+    total_ref = sum(r["reference_s"] for r in results)
+    return {
+        "benchmark": "serve",
+        "store_schema_version": STORE_SCHEMA_VERSION,
+        "params": {
+            "seed": seed, "repeats": repeats, "cells": cells,
+            "clients": clients, "dedup_clients": dedup_clients,
+            "workers": workers, "n": n,
+        },
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": results,
+        "overall_speedup": (
+            round(total_ref / total_opt, 3) if total_opt > 0 else float("inf")
+        ),
+        "all_identical": all(r["identical"] for r in results),
+    }
+
+
+def format_serve_report(payload: Dict) -> str:
+    """Human-readable report for a :func:`run_serve_benchmark` payload."""
+    from .tables import render_table
+
+    table = render_table(
+        payload["scenarios"],
+        columns=["scenario", "requests", "optimized_s", "reference_s",
+                 "speedup", "rps", "p50_ms", "p99_ms", "identical"],
+        title="Serve subsystem (HTTP server vs direct execution)",
+    )
+    return (
+        f"{table}\n"
+        f"overall speedup   : {payload['overall_speedup']}x\n"
+        f"behaviour matched : {payload['all_identical']}"
+    )

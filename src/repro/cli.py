@@ -16,10 +16,14 @@ Commands
                  sorted iteration, canonical JSON, scenario-axis
                  canonicalisation, exception hygiene); nonzero exit on
                  findings, ``--format json`` for tooling
-``bench``        microbenchmarks: engine, graph substrate, and/or the
-                 batched sweep engine
-                 (``--suite engine|graphs|batch|all``; ``--profile``
-                 runs the suite under cProfile)
+``serve``        dispersion-as-a-service: asyncio HTTP server over a
+                 run store (warm cells answered with zero solver calls,
+                 single-flight dedup, bounded-queue backpressure, live
+                 SSE run streaming — see ``repro.serve``)
+``bench``        microbenchmarks: engine, graph substrate, the batched
+                 sweep engine, and/or the serve subsystem
+                 (``--suite engine|graphs|batch|serve|all``;
+                 ``--profile`` runs the suite under cProfile)
 
 Every solver-running command (``table1``, ``run``, ``tolerance``,
 ``sweep``, ``scenario``) goes through the same plan executor and accepts
@@ -56,6 +60,7 @@ Examples::
     python -m repro store verify runs/ --repair
     python -m repro store compact runs/
     python -m repro impossible --n 6 --k 12 --f 6
+    python -m repro serve --store runs/ --workers 4 --port 8008
     python -m repro lint
     python -m repro lint src/repro --format json --select exception-hygiene
     python -m repro bench --out benchmarks/BENCH_engine.json
@@ -84,6 +89,7 @@ from .analysis.store import RunStore
 from .analysis.batchbench import format_batch_report, run_batch_benchmark
 from .analysis.benchmark import format_report, write_bench_json
 from .analysis.graphbench import format_graph_report
+from .analysis.servebench import format_serve_report, run_serve_benchmark
 from .byzantine import STRATEGIES, STRONG_STRATEGIES, WEAK_STRATEGIES, Adversary
 from .core import TABLE1, demonstrate_impossibility, get_row
 from .errors import ReproError
@@ -593,6 +599,15 @@ _BENCH_SUITES = {
         format_batch_report,
         "batch_out",
     ),
+    "serve": (
+        lambda args: run_serve_benchmark(
+            seed=args.seed, repeats=args.repeats, cells=args.serve_cells,
+            clients=args.serve_clients, dedup_clients=args.serve_dedup,
+            workers=args.serve_workers,
+        ),
+        format_serve_report,
+        "serve_out",
+    ),
 }
 
 
@@ -631,6 +646,20 @@ def _cmd_bench(args) -> int:
         stats.strip_dirs().sort_stats("tottime").print_stats(20)
         print("(baseline files not written under --profile)")
     return 0 if ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from .serve import run_server  # deferred: pulls in the asyncio stack
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        store=_store_of(args),
+        workers=args.workers,
+        queue_size=args.queue_size,
+        policy=_policy_of(args),
+        round_every=args.round_every,
+    )
 
 
 def _add_plan_args(parser: argparse.ArgumentParser) -> None:
@@ -794,6 +823,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ls.set_defaults(func=_cmd_strategies)
 
+    sv = sub.add_parser(
+        "serve",
+        help="HTTP scenario server over a run store "
+             "(dispersion-as-a-service; see repro.serve)",
+        epilog="example: python -m repro serve --store runs/ --workers 4 --port 8008",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=8008,
+                    help="bind port, 0 for ephemeral (default: 8008)")
+    sv.add_argument("--store", default=None,
+                    help="run-store directory shared with the CLI (created "
+                         "if missing; omit to recompute every request)")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="compute threads for cold cells (default: 2)")
+    sv.add_argument("--queue-size", dest="queue_size", type=int, default=64,
+                    help="bounded submission queue; a full queue answers "
+                         "429 + Retry-After (default: 64)")
+    sv.add_argument("--round-every", dest="round_every", type=int, default=100,
+                    help="SSE round-progress sampling stride (default: "
+                         "every 100 rounds)")
+    sv.add_argument("--timeout", type=float, default=None,
+                    help="per-cell wall-clock budget in seconds "
+                         "(default: none)")
+    sv.add_argument("--retries", type=int, default=2,
+                    help="retries before a failing cell is quarantined "
+                         "(default: 2)")
+    sv.set_defaults(func=_cmd_serve)
+
     li = sub.add_parser(
         "lint",
         help="determinism linter: static proofs of the byte-identity rules",
@@ -828,6 +886,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="sweep cells in the dispatch scenario (graphs suite)")
     be.add_argument("--batch-cells", type=int, default=64,
                     help="simulations per scenario (batch suite; default: 64)")
+    be.add_argument("--serve-cells", type=int, default=6,
+                    help="distinct cells in the cold/warm workloads "
+                         "(serve suite; default: 6)")
+    be.add_argument("--serve-clients", type=int, default=4,
+                    help="concurrent HTTP clients (serve suite; default: 4)")
+    be.add_argument("--serve-dedup", type=int, default=8,
+                    help="concurrent identical requests in the dedup "
+                         "workload (serve suite; default: 8)")
+    be.add_argument("--serve-workers", type=int, default=4,
+                    help="server compute threads (serve suite; default: 4)")
     be.add_argument("--out", default=_default_bench_path("BENCH_engine.json"),
                     help="engine JSON output path ('' to skip writing; "
                          "default: the checked-in benchmarks/ baseline)")
@@ -836,6 +904,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "default: the checked-in benchmarks/ baseline)")
     be.add_argument("--batch-out", default=_default_bench_path("BENCH_batch.json"),
                     help="batch JSON output path ('' to skip writing; "
+                         "default: the checked-in benchmarks/ baseline)")
+    be.add_argument("--serve-out", default=_default_bench_path("BENCH_serve.json"),
+                    help="serve JSON output path ('' to skip writing; "
                          "default: the checked-in benchmarks/ baseline)")
     be.add_argument("--profile", action="store_true",
                     help="run the selected suite(s) under cProfile and print "

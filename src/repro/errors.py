@@ -72,5 +72,24 @@ class ConfigurationError(ReproError):
     """Invalid experiment configuration (e.g. f out of range, bad IDs)."""
 
 
+class ValidationError(ConfigurationError):
+    """Untrusted input failed validation; names the offending field.
+
+    Raised by the scenario parsers (``Scenario.from_dict``,
+    ``ScenarioGrid.from_dicts``) on unknown keys, wrong types, or
+    out-of-range values.  ``field`` carries a dotted path into the
+    payload (``"graph"``, ``"scenarios[3].f"``) so API layers — the
+    serve subsystem maps these to 400 responses — can tell clients
+    exactly which part of their JSON to fix.
+    """
+
+    def __init__(self, field: str, message: str):
+        super().__init__(f"{field}: {message}")
+        self.field = field
+        #: The bare message without the field prefix (so wrappers can
+        #: re-attribute the same reason to a longer path).
+        self.reason = message
+
+
 class ImpossibleInstance(ConfigurationError):
     """The requested instance is provably unsolvable (Theorem 8 regime)."""

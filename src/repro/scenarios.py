@@ -81,7 +81,7 @@ from .analysis.store import RunStore
 from .analysis.tables import infer_columns, render_table
 from .byzantine import STRATEGIES
 from .core.runner import TABLE1, Table1Row, get_row, row_applicable
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ValidationError
 from .graphs.port_labeled import PortLabeledGraph
 from .graphs.specs import GraphSpec, canonicalize_spec, resolve_spec, spec_of
 from .sim.schedulers import canonical_scheduler
@@ -110,6 +110,13 @@ PLACEMENTS = ("lowest", "highest", "random")
 #: ``to_dict`` format version (bumped only if the serialized shape
 #: changes incompatibly; independent of the record-schema version).
 FORMAT_VERSION = 1
+
+#: Every key a serialized scenario may carry (``from_dict`` rejects the
+#: rest by name — untrusted payloads must not silently drop typos).
+_SCENARIO_FIELDS = frozenset({
+    "version", "kind", "algorithm", "graph", "strategy", "f",
+    "placement", "seed", "rounds", "scheduler",
+})
 
 
 # --------------------------------------------------------------------- #
@@ -556,33 +563,96 @@ class Scenario:
     @classmethod
     def from_dict(cls, payload: Dict) -> "Scenario":
         """Build a scenario from its dict form (tolerant of omitted
-        defaults, so hand-written JSON files stay short)."""
+        defaults, so hand-written JSON files stay short).
+
+        Hardened for untrusted input: unknown keys, wrong types, and
+        out-of-range values raise :class:`~repro.errors.ValidationError`
+        naming the offending field — the serve subsystem maps these to
+        400 responses with the field in the body.
+        """
         if not isinstance(payload, dict):
-            raise ConfigurationError("a scenario must be a JSON object")
+            raise ValidationError("scenario", "must be a JSON object")
         version = payload.get("version", FORMAT_VERSION)
         if version != FORMAT_VERSION:
-            raise ConfigurationError(
-                f"unsupported scenario format version {version!r}"
+            raise ValidationError(
+                "version", f"unsupported scenario format version {version!r}"
             )
-        unknown = set(payload) - {
-            "version", "kind", "algorithm", "graph", "strategy", "f",
-            "placement", "seed", "rounds", "scheduler",
-        }
+        unknown = set(payload) - _SCENARIO_FIELDS
         if unknown:
-            raise ConfigurationError(
-                f"unknown scenario field(s): {', '.join(sorted(unknown))}"
+            raise ValidationError(
+                sorted(unknown)[0],
+                f"unknown scenario field(s): {', '.join(sorted(unknown))}",
             )
-        if "algorithm" not in payload or "graph" not in payload:
-            raise ConfigurationError("a scenario needs 'algorithm' and 'graph'")
+        for required in ("algorithm", "graph"):
+            if required not in payload:
+                raise ValidationError(
+                    required, "required field is missing "
+                    "(a scenario needs 'algorithm' and 'graph')"
+                )
+        for name in ("kind", "strategy", "placement", "scheduler"):
+            if name in payload and not isinstance(payload[name], str):
+                raise ValidationError(
+                    name, f"must be a string, got {type(payload[name]).__name__}"
+                )
+        if not isinstance(payload["graph"], dict):
+            raise ValidationError(
+                "graph", f"must be a JSON object, got {type(payload['graph']).__name__}"
+            )
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ValidationError("seed", f"must be an integer, got {seed!r}")
+        rounds = payload.get("rounds")
+        if rounds is not None and (
+            isinstance(rounds, bool) or not isinstance(rounds, int) or rounds < 0
+        ):
+            raise ValidationError(
+                "rounds", f"must be a non-negative integer, got {rounds!r}"
+            )
+        f = payload.get("f", "max")
+        if isinstance(f, bool) or not isinstance(f, (int, str)) or (
+            isinstance(f, str) and f != "max"
+        ):
+            raise ValidationError("f", f"must be an integer or 'max', got {f!r}")
+        kind = payload.get("kind", "table1")
+        if kind not in KINDS:
+            raise ValidationError(
+                "kind", f"unknown scenario kind {kind!r} (choose from {KINDS})"
+            )
+        strategy = payload.get("strategy", "squatter")
+        if strategy not in STRATEGIES:
+            raise ValidationError(
+                "strategy", f"unknown strategy {strategy!r} "
+                f"(choose from: {', '.join(sorted(STRATEGIES))})"
+            )
+        placement = payload.get("placement", "lowest")
+        if placement not in PLACEMENTS:
+            raise ValidationError(
+                "placement",
+                f"unknown placement {placement!r} (choose from {PLACEMENTS})",
+            )
+        try:
+            _normalize_algorithm(payload["algorithm"])
+        except ConfigurationError as exc:
+            raise ValidationError("algorithm", str(exc))
+        try:
+            canonical_scheduler(payload.get("scheduler", "synchronous"))
+        except ConfigurationError as exc:
+            raise ValidationError("scheduler", str(exc))
+        try:
+            graph = _graph_from_dict(payload["graph"])
+        except ValidationError:
+            raise
+        except ConfigurationError as exc:
+            raise ValidationError("graph", str(exc))
         return cls(
             algorithm=payload["algorithm"],
-            graph=_graph_from_dict(payload["graph"]),
-            strategy=payload.get("strategy", "squatter"),
-            f=payload.get("f", "max"),
-            kind=payload.get("kind", "table1"),
-            placement=payload.get("placement", "lowest"),
-            seed=payload.get("seed", 0),
-            rounds=payload.get("rounds"),
+            graph=graph,
+            strategy=strategy,
+            f=f,
+            kind=kind,
+            placement=placement,
+            seed=seed,
+            rounds=rounds,
             scheduler=payload.get("scheduler", "synchronous"),
         )
 
@@ -755,7 +825,29 @@ class ScenarioGrid:
 
     @classmethod
     def from_dicts(cls, payload: Sequence[Dict]) -> "ScenarioGrid":
-        return cls([Scenario.from_dict(p) for p in payload])
+        """Build a grid from scenario dicts.
+
+        Validation failures re-raise naming the failing entry and field
+        (``scenarios[3].f``) so callers of the HTTP sweep endpoint see
+        exactly which element of their array is bad.
+        """
+        if isinstance(payload, (str, bytes)) or not isinstance(payload, Sequence):
+            raise ValidationError(
+                "scenarios", "must be an array of scenario objects"
+            )
+        scenarios = []
+        for i, entry in enumerate(payload):
+            try:
+                scenarios.append(Scenario.from_dict(entry))
+            except ValidationError as exc:
+                field = (
+                    f"scenarios[{i}]" if exc.field == "scenario"
+                    else f"scenarios[{i}].{exc.field}"
+                )
+                raise ValidationError(field, exc.reason)
+            except ConfigurationError as exc:
+                raise ValidationError(f"scenarios[{i}]", str(exc))
+        return cls(scenarios)
 
 
 def grid(

@@ -1,0 +1,38 @@
+"""Dispersion-as-a-service: the asyncio HTTP front-end over the run store.
+
+Stdlib-only (asyncio + hand-rolled HTTP over ``asyncio.start_server``;
+no new runtime deps).  ``repro serve --store DIR --workers N --port P``
+turns the content-addressed run store into a network service:
+
+* **Warm cells** are answered straight from the store — zero solver
+  calls, same bytes the CLI wrote.
+* **Cold cells** are computed through the same fault-tolerant
+  :func:`~repro.analysis.experiments.execute_plan` path as the CLI, so
+  a sweep started on the CLI warms the server and vice versa.
+* **Identical concurrent requests** coalesce (single-flight): one
+  computation fans out to every waiter.
+* **A full queue is explicit backpressure**: 429 + ``Retry-After``.
+* **Progress streams live** over Server-Sent Events on
+  ``GET /events/{key}``.
+
+See :mod:`repro.serve.service` for the core semantics,
+:mod:`repro.serve.server` for the HTTP API, and the README's
+"Dispersion-as-a-service" tour for a walkthrough.
+"""
+
+from .events import EventBroker
+from .http import HttpError, Request
+from .server import ServeApp, ServerThread, run_server
+from .service import Busy, DispersionService, RunOutcome
+
+__all__ = [
+    "Busy",
+    "DispersionService",
+    "EventBroker",
+    "HttpError",
+    "Request",
+    "RunOutcome",
+    "ServeApp",
+    "ServerThread",
+    "run_server",
+]

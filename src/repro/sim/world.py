@@ -49,6 +49,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..errors import ProtocolViolation, SimulationError
 from ..graphs.port_labeled import PortLabeledGraph
+from .progress import current_sink as _progress_sink
 from .schedulers import (
     Scheduler,
     SchedulerSpec,
@@ -362,6 +363,13 @@ class World:
         if scheduler is None and any_live and not ff_blocked and ff_min > nxt + 1:
             self.round = ff_min
             self.board_previous = _EMPTY_BOARD
+
+        # Progress observation (read-only; see repro.sim.progress): a
+        # sink installed on this thread sees every completed round.  The
+        # uninstalled fast path is one thread-local probe.
+        sink = _progress_sink()
+        if sink is not None:
+            sink(self, rnd)
 
     def run(
         self,

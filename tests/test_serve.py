@@ -1,0 +1,461 @@
+"""Tests for the serve subsystem (dispersion-as-a-service).
+
+Pins the tentpole guarantees end to end against a real server on an
+ephemeral port:
+
+* warm requests perform **zero solver calls** (spy on the service's
+  ``execute_plan``);
+* N concurrent identical cold requests compute the cell **exactly
+  once** (single-flight dedup);
+* SSE event framing is byte-pinned against a golden transcript;
+* a full submission queue answers **429 + Retry-After**;
+* an injected worker crash surfaces as a **structured 500** while the
+  server keeps serving;
+* records written through the server are **byte-identical** — same
+  shard files, same bytes — to a CLI run of the same scenarios;
+* untrusted payloads come back as 400s naming the offending field
+  (the hardened ``Scenario.from_dict``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+import repro.serve.service as service_module
+from repro.analysis.faults import FaultPlan, FaultSpec
+from repro.analysis.store import RunStore
+from repro.errors import ConfigurationError, ReproError, ValidationError
+from repro.scenarios import Scenario, ScenarioGrid
+from repro.serve import ServerThread
+
+DATA = Path(__file__).parent / "data"
+
+#: The scenario every serve test speaks (tiny but a real solver run).
+SCENARIO = {
+    "algorithm": 4,
+    "graph": {"family": "random_connected", "args": {"n": 7, "seed": 0}},
+    "strategy": "squatter",
+    "f": "max",
+    "seed": 0,
+}
+
+
+def _scenario(seed: int = 0) -> dict:
+    return dict(SCENARIO, seed=seed)
+
+
+def _request(server, method, path, payload=None):
+    """One request; returns (status, parsed body, response headers)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read()), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def _sse_bytes(server, key: str) -> bytes:
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    try:
+        conn.request("GET", f"/events/{key}")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "text/event-stream"
+        return response.read()
+    finally:
+        conn.close()
+
+
+class TestWarmServing:
+    def test_warm_request_zero_solver_calls(self, tmp_path, monkeypatch):
+        """A store warmed by the CLI path answers with zero solver calls."""
+        store_dir = str(tmp_path / "store")
+        scenario = Scenario.from_dict(SCENARIO)
+        cli_records = list(scenario.run(store=RunStore(store_dir)))
+
+        calls = []
+        real = service_module.execute_plan
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "execute_plan", spy)
+        with ServerThread(store=RunStore(store_dir)) as server:
+            status, body, _ = _request(server, "POST", "/run", SCENARIO)
+        assert status == 200
+        assert body["status"] == "warm"
+        assert body["key"] == scenario.key()
+        assert body["records"] == cli_records
+        assert calls == [], "warm request must not invoke the executor"
+
+    def test_cli_warms_server_and_server_warms_cli(self, tmp_path):
+        """One store, two front-ends: each sees the other's cells."""
+        store_dir = str(tmp_path / "store")
+        with ServerThread(store=RunStore(store_dir)) as server:
+            status, cold, _ = _request(server, "POST", "/run", SCENARIO)
+            assert status == 200 and cold["status"] == "ok"
+        # Server wrote the cell; the CLI path must replay it from disk.
+        store = RunStore(store_dir)
+        records = store.get(Scenario.from_dict(SCENARIO).key())
+        assert records == cold["records"]
+        assert store.hits == 1
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_once(self, tmp_path, monkeypatch):
+        clients = 6
+        calls = []
+        release = threading.Event()
+        real = service_module.execute_plan
+
+        def gated(*args, **kwargs):
+            calls.append(1)
+            assert release.wait(30), "test gate never released"
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "execute_plan", gated)
+        with ServerThread(store=RunStore(str(tmp_path / "store"))) as server:
+            results = []
+
+            def post():
+                results.append(_request(server, "POST", "/run", SCENARIO))
+
+            threads = [threading.Thread(target=post) for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            # Wait until every request has been routed (joined or queued),
+            # then let the single computation proceed.
+            service = server.service
+            for _ in range(3000):
+                if service.counters["requests"] >= clients:
+                    break
+                threading.Event().wait(0.01)
+            assert service.counters["requests"] >= clients
+            release.set()
+            for thread in threads:
+                thread.join(timeout=60)
+
+            assert len(calls) == 1, "single-flight must compute the cell once"
+            assert len(results) == clients
+            reference = results[0][1]["records"]
+            for status, body, _ in results:
+                assert status == 200
+                assert body["records"] == reference
+            assert service.counters["dedup_joined"] == clients - 1
+            assert service.counters["computed"] == 1
+
+
+class TestSSE:
+    def test_event_stream_matches_golden_transcript(self, tmp_path):
+        """The full SSE transcript is byte-identical run to run."""
+        with ServerThread(store=RunStore(str(tmp_path / "store")),
+                          workers=1, round_every=500) as server:
+            status, body, _ = _request(server, "POST", "/run", SCENARIO)
+            assert status == 200
+            stream = _sse_bytes(server, body["key"])
+        golden = (DATA / "serve_sse_golden.txt").read_bytes()
+        assert stream == golden
+
+    def test_warm_key_synthesizes_terminal_stream(self, tmp_path):
+        """A key warmed before this server existed still streams."""
+        store_dir = str(tmp_path / "store")
+        scenario = Scenario.from_dict(SCENARIO)
+        records = list(scenario.run(store=RunStore(store_dir)))
+        with ServerThread(store=RunStore(store_dir)) as server:
+            stream = _sse_bytes(server, scenario.key()).decode()
+        events = [line.split(": ", 1)[1] for line in stream.splitlines()
+                  if line.startswith("event: ")]
+        assert events == ["result", "done"]
+        payload = json.loads(
+            [line for line in stream.splitlines()
+             if line.startswith("data: ") and '"records"' in line][0][len("data: "):]
+        )
+        assert payload["records"] == records
+
+    def test_unknown_key_is_404(self, tmp_path):
+        with ServerThread(store=RunStore(str(tmp_path / "store"))) as server:
+            conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+            try:
+                conn.request("GET", "/events/deadbeef")
+                assert conn.getresponse().status == 404
+            finally:
+                conn.close()
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_with_retry_after(self, tmp_path, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        real = service_module.execute_plan
+
+        def gated(*args, **kwargs):
+            started.set()
+            assert release.wait(30), "test gate never released"
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "execute_plan", gated)
+        with ServerThread(store=RunStore(str(tmp_path / "store")),
+                          workers=1, queue_size=1) as server:
+            # Cell A occupies the single worker...
+            status, _, _ = _request(server, "POST", "/run?wait=0", _scenario(1))
+            assert status == 202
+            assert started.wait(30)
+            # ...cell B fills the queue...
+            status, _, _ = _request(server, "POST", "/run?wait=0", _scenario(2))
+            assert status == 202
+            # ...cell C is explicit backpressure.
+            status, body, headers = _request(
+                server, "POST", "/run?wait=0", _scenario(3))
+            assert status == 429
+            assert "Retry-After" in headers
+            assert int(headers["Retry-After"]) >= 1
+            assert "queue is full" in body["error"]
+            assert server.service.counters["busy_429"] == 1
+            release.set()
+            # The rejected client retries after the drain and succeeds.
+            status = 429
+            for _ in range(3000):
+                status, body, _ = _request(server, "POST", "/run", _scenario(3))
+                if status != 429:
+                    break
+                threading.Event().wait(0.01)
+            assert status == 200 and body["status"] in ("ok", "warm")
+
+
+class TestFailureResponses:
+    def test_killed_worker_is_structured_500_and_server_survives(self, tmp_path):
+        """A crash-faulted cell quarantines into a 5xx body, not a dead server."""
+        poisoned = Scenario.from_dict(_scenario(7))
+        faults = FaultPlan(
+            {poisoned.key(): FaultSpec(mode="crash", attempts=None)}
+        )
+        with ServerThread(store=RunStore(str(tmp_path / "store")),
+                          faults=faults) as server:
+            status, body, _ = _request(server, "POST", "/run", _scenario(7))
+            assert status == 500
+            assert body["status"] == "failed"
+            [record] = body["records"]
+            assert record["failed"] is True and record["success"] is False
+            assert record["key"] == poisoned.key()
+            assert record["attempts"] >= 1
+            # The event stream carries the quarantine.
+            stream = _sse_bytes(server, poisoned.key()).decode()
+            assert "event: quarantined" in stream
+            assert '"status":"failed"' in stream
+            # The server is alive and healthy requests still compute.
+            status, body, _ = _request(server, "GET", "/healthz")
+            assert status == 200 and body["ok"] is True
+            status, body, _ = _request(server, "POST", "/run", SCENARIO)
+            assert status == 200 and body["status"] == "ok"
+            # Quarantined cells are never persisted as warm results.
+            status, body, _ = _request(server, "POST", "/run?wait=0", _scenario(7))
+            assert status == 202
+
+    def test_rejection_is_422(self, tmp_path):
+        # f beyond the row's bound on this graph: a deterministic
+        # ReproError rejection, distinct from a quarantined crash.
+        payload = dict(SCENARIO, f=99, kind="table1")
+        with ServerThread(store=RunStore(str(tmp_path / "store"))) as server:
+            status, body, _ = _request(server, "POST", "/run", payload)
+        assert status in (422, 500)  # rejection path; never a crash
+        assert body["status"] in ("rejected", "failed")
+
+
+class TestByteIdentity:
+    def test_server_store_is_byte_identical_to_cli_store(self, tmp_path):
+        """Same scenarios, two stores — CLI-written and server-written —
+        must match shard for shard, byte for byte."""
+        scenarios = [_scenario(s) for s in range(3)]
+        cli_dir, serve_dir = tmp_path / "cli", tmp_path / "serve"
+
+        grid = ScenarioGrid.from_dicts(scenarios)
+        cli_records = list(grid.run(store=RunStore(str(cli_dir))))
+
+        with ServerThread(store=RunStore(str(serve_dir)), workers=1) as server:
+            status, body, _ = _request(
+                server, "POST", "/sweep", {"scenarios": scenarios})
+        assert status == 200 and body["ok"] is True
+        served = [record for entry in body["results"]
+                  for record in entry["records"]]
+        assert served == cli_records
+
+        cli_files = sorted(p.name for p in cli_dir.iterdir())
+        serve_files = sorted(p.name for p in serve_dir.iterdir())
+        assert cli_files == serve_files
+        for name in cli_files:
+            assert (cli_dir / name).read_bytes() == (serve_dir / name).read_bytes(), (
+                f"shard {name} differs between CLI and server stores"
+            )
+
+
+class TestSweepEndpoint:
+    def test_sweep_mixes_warm_and_cold(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        warm = Scenario.from_dict(_scenario(0))
+        warm_records = list(warm.run(store=RunStore(store_dir)))
+        with ServerThread(store=RunStore(store_dir)) as server:
+            status, body, _ = _request(
+                server, "POST", "/sweep",
+                {"scenarios": [_scenario(0), _scenario(1)]})
+        assert status == 200
+        first, second = body["results"]
+        assert first["status"] == "warm" and first["records"] == warm_records
+        assert second["status"] == "ok"
+
+    def test_sweep_duplicate_cells_coalesce(self, tmp_path):
+        with ServerThread(store=RunStore(str(tmp_path / "store"))) as server:
+            status, body, _ = _request(
+                server, "POST", "/sweep", [_scenario(0), _scenario(0)])
+            assert status == 200
+            assert server.service.counters["computed"] == 1
+            assert server.service.counters["dedup_joined"] == 1
+        assert body["results"][0]["records"] == body["results"][1]["records"]
+
+    def test_sweep_validation_names_the_entry(self, tmp_path):
+        with ServerThread(store=RunStore(str(tmp_path / "store"))) as server:
+            status, body, _ = _request(
+                server, "POST", "/sweep",
+                [_scenario(0), dict(SCENARIO, f="lots")])
+        assert status == 400
+        assert body["field"] == "scenarios[1].f"
+
+
+class TestHttpSurface:
+    def test_stats_reuses_store_stats_json(self, tmp_path, capsys):
+        """/stats embeds exactly the dict `repro store stats --json` prints."""
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "store")
+        Scenario.from_dict(SCENARIO).run(store=RunStore(store_dir))
+        assert main(["store", "stats", store_dir, "--json"]) == 0
+        cli_stats = json.loads(capsys.readouterr().out)
+        with ServerThread(store=RunStore(store_dir)) as server:
+            status, body, _ = _request(server, "GET", "/stats")
+        assert status == 200
+        for key, value in cli_stats.items():
+            assert body["store"][key] == value
+        assert body["queue"]["capacity"] == 64
+        assert set(body["counters"]) >= {
+            "requests", "warm_hits", "dedup_joined", "computed", "busy_429",
+        }
+
+    def test_result_endpoint(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        scenario = Scenario.from_dict(SCENARIO)
+        records = list(scenario.run(store=RunStore(store_dir)))
+        with ServerThread(store=RunStore(store_dir)) as server:
+            status, body, _ = _request(server, "GET", f"/result/{scenario.key()}")
+            assert status == 200 and body["records"] == records
+            status, body, _ = _request(server, "GET", "/result/0000")
+            assert status == 404
+
+    def test_validation_maps_to_400_with_field(self, tmp_path):
+        cases = [
+            (dict(SCENARIO, bogus=1), "bogus"),
+            (dict(SCENARIO, f="lots"), "f"),
+            (dict(SCENARIO, seed="zero"), "seed"),
+            (dict(SCENARIO, rounds=-1), "rounds"),
+            (dict(SCENARIO, strategy="nope"), "strategy"),
+            ({"algorithm": 4}, "graph"),
+            (dict(SCENARIO, graph={"family": "hyperwhat", "args": {}}), "graph"),
+        ]
+        with ServerThread(store=RunStore(str(tmp_path / "store"))) as server:
+            for payload, field in cases:
+                status, body, _ = _request(server, "POST", "/run", payload)
+                assert status == 400, payload
+                assert body["field"] == field, payload
+            # Non-JSON body and wrong method/route.
+            conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+            try:
+                for method, path, body, expected in [
+                    ("POST", "/run", b"not json", 400),
+                    ("GET", "/run", None, 405),
+                    ("GET", "/nope", None, 404),
+                ]:
+                    conn.request(method, path, body=body)
+                    response = conn.getresponse()
+                    response.read()
+                    assert response.status == expected, (method, path)
+            finally:
+                conn.close()
+
+
+class TestScenarioValidation:
+    """Satellite: hardened `from_dict` negative-input coverage (no server)."""
+
+    def test_validation_error_is_a_repro_error(self):
+        assert issubclass(ValidationError, ConfigurationError)
+        assert issubclass(ValidationError, ReproError)
+
+    @pytest.mark.parametrize("payload, field", [
+        ("not an object", "scenario"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "version": 99}, "version"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "shenanigans": 1}, "shenanigans"),
+        ({"graph": {"family": "ring", "args": {"n": 6}}}, "algorithm"),
+        ({"algorithm": 4}, "graph"),
+        ({"algorithm": 4, "graph": []}, "graph"),
+        ({"algorithm": 4, "graph": {"weird": 1}}, "graph"),
+        ({"algorithm": 99, "graph": {"family": "ring", "args": {"n": 6}}},
+         "algorithm"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "strategy": 7}, "strategy"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "strategy": "nope"}, "strategy"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "f": 1.5}, "f"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "f": True}, "f"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "f": "half"}, "f"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "kind": "table9"}, "kind"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "placement": "middle"}, "placement"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "seed": "zero"}, "seed"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "seed": True}, "seed"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "rounds": -3}, "rounds"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "rounds": 2.5}, "rounds"),
+        ({"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}},
+          "scheduler": "warp(speed=9)"}, "scheduler"),
+    ])
+    def test_bad_input_names_the_field(self, payload, field):
+        with pytest.raises(ValidationError) as excinfo:
+            Scenario.from_dict(payload)
+        assert excinfo.value.field == field
+        assert str(excinfo.value).startswith(f"{field}: ")
+
+    def test_valid_payload_still_parses(self):
+        scenario = Scenario.from_dict(SCENARIO)
+        assert scenario.serial == 4 and scenario.f == "max"
+
+    def test_grid_prefixes_the_entry_index(self):
+        good = {"algorithm": 4, "graph": {"family": "ring", "args": {"n": 6}}}
+        with pytest.raises(ValidationError) as excinfo:
+            ScenarioGrid.from_dicts([good, dict(good, f="lots")])
+        assert excinfo.value.field == "scenarios[1].f"
+        with pytest.raises(ValidationError) as excinfo:
+            ScenarioGrid.from_dicts([good, "nope"])
+        assert excinfo.value.field == "scenarios[1]"
+        with pytest.raises(ValidationError) as excinfo:
+            ScenarioGrid.from_dicts({"not": "a list"})
+        assert excinfo.value.field == "scenarios"
+
+    def test_round_trip_unchanged_by_hardening(self):
+        scenario = Scenario.from_dict(SCENARIO)
+        again = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert again == scenario and again.key() == scenario.key()

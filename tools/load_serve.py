@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Load generator for the serve subsystem (stdlib only).
+
+Two modes:
+
+* **Default (benchmark)** — boots the real serve stack on an ephemeral
+  port with a fresh temporary store, drives the cold / warm / deduped
+  workloads through :func:`repro.analysis.servebench.run_serve_benchmark`,
+  prints the requests/sec + p50/p99 latency table, and writes the
+  ``benchmarks/BENCH_serve.json`` baseline gated by
+  ``check_regression.py``::
+
+      python tools/load_serve.py --repeats 3
+
+* **``--smoke``** — the CI serve job: boots the server, runs a
+  cold+warm request pair (asserting the warm answer performed zero
+  additional computations and returned identical records), reads one
+  complete SSE stream, and checks ``/healthz`` + ``/stats``.  Exit 0
+  on success, 1 with a reason on any failure.
+
+Both modes are self-booting; no external server required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.servebench import (  # noqa: E402
+    format_serve_report,
+    run_serve_benchmark,
+)
+from repro.analysis.store import RunStore  # noqa: E402
+from repro.serve import ServerThread  # noqa: E402
+
+_SMOKE_SCENARIO = {
+    "algorithm": 4,
+    "graph": {"family": "random_connected", "args": {"n": 7, "seed": 0}},
+    "strategy": "squatter",
+    "f": "max",
+    "seed": 0,
+}
+
+
+def _request(server, method: str, path: str, payload=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=120)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _read_sse(server, key: str) -> list:
+    """Read one complete event stream; returns the ``event:`` names."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=120)
+    try:
+        conn.request("GET", f"/events/{key}")
+        response = conn.getresponse()
+        if response.status != 200:
+            raise AssertionError(f"SSE stream answered {response.status}")
+        text = response.read().decode()
+    finally:
+        conn.close()
+    return [line.split(": ", 1)[1] for line in text.splitlines()
+            if line.startswith("event: ")]
+
+
+def smoke() -> int:
+    """Boot, cold+warm pair, one SSE stream, health + stats.  0 = pass."""
+    tmp = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    failures = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        print(f"  {'ok ' if ok else 'FAIL'} {label}" + (f" ({detail})" if detail else ""))
+        if not ok:
+            failures.append(label)
+
+    try:
+        with ServerThread(store=RunStore(tmp), workers=2) as server:
+            print(f"smoke: serve stack on {server.base_url}")
+            status, body = _request(server, "GET", "/healthz")
+            check("healthz", status == 200 and body.get("ok") is True)
+
+            status, cold = _request(server, "POST", "/run", _SMOKE_SCENARIO)
+            check("cold run", status == 200 and cold.get("status") == "ok",
+                  f"status={status}")
+            key = cold.get("key", "")
+
+            computed = server.service.counters["computed"]
+            status, warm = _request(server, "POST", "/run", _SMOKE_SCENARIO)
+            check(
+                "warm run",
+                status == 200 and warm.get("status") == "warm"
+                and warm.get("records") == cold.get("records")
+                and server.service.counters["computed"] == computed,
+                "zero additional computations, identical records",
+            )
+
+            events = _read_sse(server, key)
+            check(
+                "SSE stream",
+                events[:2] == ["queued", "started"]
+                and events[-2:] == ["result", "done"],
+                "→".join(events[:3] + ["...", events[-1]] if len(events) > 4 else events),
+            )
+
+            status, stats = _request(server, "GET", "/stats")
+            check(
+                "stats", status == 200
+                and stats["counters"]["warm_hits"] == 1
+                and stats["counters"]["computed"] == 1
+                and stats["store"]["cells"] == 1,
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(f"smoke: {'PASS' if not failures else 'FAIL: ' + ', '.join(failures)}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: cold+warm pair and one SSE stream")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="best-of timing repeats (default: 1)")
+    parser.add_argument("--cells", type=int, default=6)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--dedup-clients", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=str(REPO_ROOT / "benchmarks" / "BENCH_serve.json"),
+                        help="baseline output path ('' to skip writing)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    payload = run_serve_benchmark(
+        seed=args.seed, repeats=args.repeats, cells=args.cells,
+        clients=args.clients, dedup_clients=args.dedup_clients,
+        workers=args.workers,
+    )
+    print(format_serve_report(payload))
+    if args.out:
+        from repro.analysis.benchmark import write_bench_json
+
+        write_bench_json(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0 if payload["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
