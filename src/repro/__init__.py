@@ -45,6 +45,15 @@ of crashing the sweep — tune via
 :class:`~repro.analysis.experiments.ExecutionPolicy` (``strict=True``
 restores raising).  See EXPERIMENTS.md "Failure semantics".
 
+Quick start — named eval suites (solver leaderboards)::
+
+    from repro.evals import run_suite
+    print(run_suite("torus_strong").table())   # repro eval on the CLI
+
+Suite behaviour is pinned under ``benchmarks/EVAL_<suite>.json`` and
+gated by ``benchmarks/check_evals.py``; see EXPERIMENTS.md "Eval
+suites".
+
 See README.md for the architecture tour and EXPERIMENTS.md for the full
 scenario-axis reference (including the cache-compatibility rule).
 """
@@ -106,7 +115,7 @@ from .sim import (
     parse_scheduler,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

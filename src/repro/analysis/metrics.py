@@ -43,7 +43,7 @@ def record_from_report(report: RunReport, **config) -> Dict:
 
 
 def success_rate(records: Iterable[Dict]) -> float:
-    """Fraction of records with ``success=True``.
+    """Fraction of records *that ran* with ``success=True``.
 
     Empty input returns ``nan``, not 1.0: a sweep in which **no row was
     applicable** has no evidence of success, and reporting it as perfect
@@ -51,14 +51,22 @@ def success_rate(records: Iterable[Dict]) -> float:
     Callers that want "vacuously fine" must say so explicitly.
 
     Quarantined failure records (``failed=True``, from the executor's
-    retry-exhaustion path) carry ``success=False`` and therefore count
-    against the rate like any other unsuccessful run — a degraded sweep
-    cannot report a clean rate.
+    retry-exhaustion path) are **excluded from both numerator and
+    denominator**: they are infrastructure casualties (a crashed or hung
+    worker), not protocol outcomes, and letting them dilute the rate
+    made the same record set disagree with
+    :meth:`~repro.scenarios.ResultSet.failures` about what "failed"
+    means.  They surface separately — ``failures()`` on a result set,
+    the ``failed`` count column in :func:`summarize` — and a set of
+    *only* quarantine records reports ``nan`` (no run ever executed, so
+    there is no rate).  Runs that executed and merely did not disperse
+    (``success=False`` without ``failed``) count against the rate as
+    always.
     """
-    records = list(records)
-    if not records:
+    ran = [r for r in records if not r.get("failed")]
+    if not ran:
         return float("nan")
-    return sum(1 for r in records if r.get("success")) / len(records)
+    return sum(1 for r in ran if r.get("success")) / len(ran)
 
 
 def summarize(records: List[Dict], group_by: str, missing=None) -> List[Dict]:
@@ -74,13 +82,15 @@ def summarize(records: List[Dict], group_by: str, missing=None) -> List[Dict]:
     e.g. a scheduler matrix groups cleanly with
     ``summarize(records, "scheduler", missing="synchronous")``.
 
-    Quarantined failure records (``failed=True``) have no round metrics;
-    they count toward ``runs`` and drag ``success_rate`` down, while the
-    round statistics aggregate over the runs that actually produced
-    them.  A group that contains any failure gains a ``failed`` count
-    column; clean summaries are byte-identical to the pre-fault-
-    tolerance shape.  A group of *only* failures reports ``nan`` round
-    statistics (there are no rounds to average).
+    Quarantined failure records (``failed=True``) have no round metrics
+    and no protocol outcome; they count toward ``runs`` but are excluded
+    from ``success_rate`` exactly as :func:`success_rate` excludes them
+    — numerator *and* denominator — so the round statistics and the rate
+    agree on which records "ran".  A group that contains any failure
+    gains a ``failed`` count column; clean summaries are byte-identical
+    to the pre-fault-tolerance shape.  A group of *only* failures
+    reports ``nan`` for the rate and the round statistics alike (nothing
+    ran, so there is nothing to average).
     """
     if not records:
         return []

@@ -662,6 +662,63 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _eval_epilog() -> str:
+    from .evals import SUITES
+
+    lines = ["suites:"]
+    for suite in SUITES.values():
+        lines.append(f"  {suite.name} — {suite.title}")
+        lines.append(f"      {suite.regime}")
+    lines.append("example: python -m repro eval ring_weak_byz --store runs/ --json")
+    return "\n".join(lines)
+
+
+def _cmd_eval(args) -> int:
+    from .evals import expected_filename, run_suite, write_expected
+
+    if args.update_expected and args.solvers:
+        print(
+            "error: --update-expected with --solvers would pin a partial "
+            "suite; refresh the expected file from a full run",
+            file=sys.stderr,
+        )
+        return 2
+    solvers = None
+    if args.solvers:
+        solvers = [tok.strip() for tok in args.solvers.split(",") if tok.strip()]
+    store = _store_of(args)
+    try:
+        report = run_suite(
+            args.suite, store=store, workers=args.workers, solvers=solvers,
+            resume=args.resume, chunk=args.chunk, policy=_policy_of(args),
+            batch=args.batch,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    n_failed = len(report.quarantined())
+    if args.json:
+        # Canonical bytes: the golden-fixture and determinism tests pin
+        # this output, so it must be identical across execution modes.
+        print(json.dumps(report.json_payload(), indent=2, sort_keys=True))
+    else:
+        print(report.table())
+        _print_failures(report.results)
+        _print_store_traffic(store)
+    if args.update_expected:
+        if n_failed:
+            print(
+                f"error: {n_failed} cell(s) quarantined; refusing to pin "
+                f"expected results from a degraded run",
+                file=sys.stderr,
+            )
+            return 1
+        path = args.expected or _default_bench_path(expected_filename(args.suite))
+        write_expected(report.expected_payload(), path)
+        print(f"wrote {path}")
+    return 1 if n_failed else 0
+
+
 def _add_plan_args(parser: argparse.ArgumentParser) -> None:
     """The plan-executor flags every solver-running subcommand shares."""
     parser.add_argument("--workers", type=int, default=None,
@@ -914,6 +971,35 @@ def build_parser() -> argparse.ArgumentParser:
                          "are not written)")
     be.add_argument("--json", action="store_true", help="also print the JSON payload")
     be.set_defaults(func=_cmd_bench)
+
+    from .evals import suite_names as _eval_suite_names
+
+    ev = sub.add_parser(
+        "eval",
+        help="run a named solver eval suite: leaderboard + pinned expected results",
+        epilog=_eval_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ev.add_argument("suite", choices=_eval_suite_names(), metavar="SUITE",
+                    help=f"which suite to run — one of "
+                         f"{', '.join(_eval_suite_names())}")
+    ev.add_argument("--solvers",
+                    help="comma-separated solver subset (serials, names, or "
+                         "theoremN; default: every solver the suite exercises)")
+    view = ev.add_mutually_exclusive_group()
+    view.add_argument("--json", action="store_true",
+                      help="print the leaderboard + expected payload as "
+                           "canonical JSON (wall-time-free, byte-stable)")
+    view.add_argument("--table", action="store_true",
+                      help="print the human leaderboard table (default)")
+    ev.add_argument("--update-expected", action="store_true",
+                    help="rewrite the suite's expected-results file from "
+                         "this run (full suite only)")
+    ev.add_argument("--expected", default=None,
+                    help="expected-results path for --update-expected "
+                         "(default: the checked-in benchmarks/EVAL_<suite>.json)")
+    _add_plan_args(ev)
+    ev.set_defaults(func=_cmd_eval)
     return p
 
 

@@ -1,0 +1,54 @@
+"""repro.evals — named scenario suites, leaderboards, and CI-gated pins.
+
+The eval harness answers "which solver wins on which workload, and did
+this change move it?" as a first-class, pinned artifact:
+
+* :mod:`~repro.evals.registry` — :data:`SUITES`, the named suites
+  (``ring_weak_byz``, ``torus_strong``, ``scheduler_stress``,
+  ``beyond_tolerance``, ``batch_scale``), each compiling to a
+  :class:`~repro.scenarios.ScenarioGrid`.
+* :mod:`~repro.evals.runner` — :func:`run_suite`, executing a suite
+  through the standard fault-tolerant/batched plan executor (warm
+  stores answer whole suites with zero solver calls).
+* :mod:`~repro.evals.report` — :class:`EvalReport`, the deterministic
+  leaderboard plus the pinnable per-solver × cell-class payload.
+* :mod:`~repro.evals.expected` — canonical IO and structural diff for
+  the checked-in ``benchmarks/EVAL_<suite>.json`` pins, gated in CI by
+  ``benchmarks/check_evals.py``.
+
+Quick tour::
+
+    from repro.evals import run_suite
+    report = run_suite("torus_strong")
+    print(report.table())          # leaderboard with wall time
+    report.expected_payload()      # the pinnable subset, wall-time-free
+"""
+
+from .expected import (
+    compare_payloads,
+    dump_expected,
+    expected_filename,
+    expected_path,
+    load_expected,
+    write_expected,
+)
+from .registry import SUITES, EvalSuite, get_suite, suite_names
+from .report import EXPECTED_FORMAT, EvalReport
+from .runner import resolve_solvers, run_suite
+
+__all__ = [
+    "SUITES",
+    "EvalSuite",
+    "get_suite",
+    "suite_names",
+    "EvalReport",
+    "EXPECTED_FORMAT",
+    "run_suite",
+    "resolve_solvers",
+    "expected_filename",
+    "expected_path",
+    "dump_expected",
+    "write_expected",
+    "load_expected",
+    "compare_payloads",
+]

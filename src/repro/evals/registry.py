@@ -1,0 +1,213 @@
+"""The named eval-suite registry: which regimes a solver must answer for.
+
+An :class:`EvalSuite` is a *named, frozen workload*: a builder that
+compiles to a :class:`~repro.scenarios.ScenarioGrid` (so every executor
+guarantee — byte-identical records across serial/parallel/warm-store
+runs, batched execution, fault quarantine — applies verbatim) plus a
+``classify`` function that buckets each record into a **cell class**,
+the granularity at which expected results are pinned in
+``benchmarks/EVAL_<suite>.json``.
+
+The starting suites mirror the paper's regimes:
+
+* ``ring_weak_byz`` / ``torus_strong`` — the weak- and strong-Byzantine
+  models of Molla, Mondal & Moses (arXiv:2004.11439): every Table 1 row
+  against weak adversaries on a ring, and the strong rows against
+  ID-faking adversaries on a torus.
+* ``beyond_tolerance`` — the capacitated / beyond-tolerance stress
+  regime (Moses & Redlich, arXiv:2311.01511): ``f`` swept past each
+  row's bound, pinning *where* the driver starts rejecting.
+* ``scheduler_stress`` — the asynchrony axis: the same solvers under
+  semi-synchronous and adversarial activation schedulers, pinning which
+  timing models each protocol survives.
+* ``batch_scale`` — a seed sweep shaped to flow through the batched
+  struct-of-arrays engine, pinning that scale-out execution answers
+  exactly like per-cell execution.
+
+Suites deliberately stay small (a few dozen cells at most): they are
+CI-gated behavioural pins, not benchmarks — wall time lives in the
+leaderboard display and never in a checked-in file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..core.runner import get_row
+from ..errors import ConfigurationError
+from ..graphs import random_connected, ring, torus
+from ..scenarios import ScenarioGrid, grid
+
+__all__ = ["EvalSuite", "SUITES", "get_suite", "suite_names"]
+
+
+def _by_strategy(rec: Dict) -> str:
+    """Cell class = adversary strategy (the default bucketing)."""
+    return rec["strategy"]
+
+
+def _by_scheduler(rec: Dict) -> str:
+    """Cell class = activation-scheduler spec (synchronous-default
+    records omit the key for cache compatibility)."""
+    return rec.get("scheduler", "synchronous")
+
+
+def _by_bound(rec: Dict) -> str:
+    """Cell class = which side of the tolerance bound the cell landed on
+    (tolerance-kind records carry ``rejected``)."""
+    return "beyond_bound" if rec.get("rejected") else "within_bound"
+
+
+@dataclass(frozen=True)
+class EvalSuite:
+    """One named scenario suite with its paper regime and cell classes.
+
+    ``build`` compiles the workload afresh each call (grids are cheap;
+    graphs resolve through the generator memo), ``classify`` maps a
+    record to its cell-class label, and ``regime``/``claim`` document
+    what the suite pins — EXPERIMENTS.md's "Eval suites" table quotes
+    them and ``tools/check_docs.py`` keeps the two in sync.
+    """
+
+    name: str
+    title: str
+    regime: str
+    claim: str
+    build: Callable[[], ScenarioGrid] = field(repr=False)
+    classify: Callable[[Dict], str] = field(repr=False)
+
+
+def _ring_weak_byz() -> ScenarioGrid:
+    """Every applicable Table 1 row on a ring at its tolerance bound,
+    against the two strongest weak-model adversaries."""
+    return grid(
+        graphs=ring(8, seed=0),
+        strategies=["squatter", "ghost_squatter"],
+        f="max",
+        seeds=0,
+    )
+
+
+def _torus_strong() -> ScenarioGrid:
+    """The strong-model rows on a 3x3 torus against ID-faking
+    adversaries (the strategies only the strong model allows)."""
+    return grid(
+        rows=[6, 7],
+        graphs=torus(3, 3, seed=0),
+        strategies=["impersonator", "id_cycler"],
+        f="max",
+        seeds=0,
+    )
+
+
+def _scheduler_stress() -> ScenarioGrid:
+    """The gathered-start polynomial rows under hostile activation
+    schedulers (synchronous column doubles as the control group)."""
+    return grid(
+        rows=[4, 5],
+        graphs=ring(9, seed=0),
+        strategies="squatter",
+        schedulers=[
+            "synchronous",
+            "semi_synchronous(p=0.5)",
+            "adversarial(window=4)",
+        ],
+        seeds=0,
+    )
+
+
+def _beyond_tolerance() -> ScenarioGrid:
+    """``f`` swept from 0 to two past each row's bound — the rows have
+    *different* bounds, so this is a union of per-row tolerance grids,
+    not one product grid."""
+    g = ring(9, seed=0)
+    subgrids = []
+    for serial in (4, 5):
+        bound = get_row(serial).f_max(g)
+        subgrids.append(
+            grid(rows=serial, graphs=g, strategies="ghost_squatter",
+                 f=list(range(0, bound + 3)), kind="tolerance",
+                 applicable_only=False)
+        )
+    return ScenarioGrid.concat(subgrids)
+
+
+def _batch_scale() -> ScenarioGrid:
+    """A seed sweep of the map-based solver shaped so the batched
+    struct-of-arrays engine takes it (same graph/solver/strategy, only
+    the seed varying): the eval pins that batched execution answers
+    byte-for-byte like per-cell execution."""
+    return grid(
+        rows=[1],
+        graphs=random_connected(9, seed=0),
+        strategies=["squatter", "idle"],
+        f="max",
+        seeds=[0, 1, 2, 3],
+    )
+
+
+#: The registry, in documentation order.  ``repro eval --help``,
+#: ``benchmarks/check_evals.py`` discovery, and the EXPERIMENTS.md
+#: suite table all derive from this dict.
+SUITES: Dict[str, EvalSuite] = {
+    suite.name: suite
+    for suite in (
+        EvalSuite(
+            name="ring_weak_byz",
+            title="weak Byzantine ring",
+            regime="weak model (no ID faking), ring, f at each row's bound",
+            claim="Table 1 rows disperse on rings despite f weak liars",
+            build=_ring_weak_byz,
+            classify=_by_strategy,
+        ),
+        EvalSuite(
+            name="torus_strong",
+            title="strong Byzantine torus",
+            regime="strong model (ID faking), 3x3 torus, f at the bound",
+            claim="Theorems 6-7 survive impersonation on a torus",
+            build=_torus_strong,
+            classify=_by_strategy,
+        ),
+        EvalSuite(
+            name="scheduler_stress",
+            title="hostile activation schedulers",
+            regime="semi-synchronous and adversarial activation on a ring",
+            claim="synchronous rows 4-5 succeed; timing attacks are recorded, not crashed",
+            build=_scheduler_stress,
+            classify=_by_scheduler,
+        ),
+        EvalSuite(
+            name="beyond_tolerance",
+            title="f beyond the bound",
+            regime="tolerance sweep past each row's f_max on a ring",
+            claim="drivers reject exactly the beyond-bound budgets",
+            build=_beyond_tolerance,
+            classify=_by_bound,
+        ),
+        EvalSuite(
+            name="batch_scale",
+            title="batched seed sweep",
+            regime="seed sweep routed through the struct-of-arrays engine",
+            claim="batched execution is byte-identical to per-cell runs",
+            build=_batch_scale,
+            classify=_by_strategy,
+        ),
+    )
+}
+
+
+def suite_names() -> List[str]:
+    """The registered suite names, in registry (documentation) order."""
+    return list(SUITES)
+
+
+def get_suite(name: str) -> EvalSuite:
+    """Look up a suite by name; unknown names raise naming the registry."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown eval suite {name!r} "
+            f"(choose from: {', '.join(SUITES)})"
+        )

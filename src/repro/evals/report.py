@@ -1,0 +1,192 @@
+"""EvalReport: one suite run aggregated into a deterministic leaderboard.
+
+The report splits its outputs by volatility:
+
+* :meth:`leaderboard` / :meth:`json_payload` — the deterministic view.
+  Per-solver success rate, round statistics, and activation totals, in a
+  fixed sort order (success rate desc, mean simulated rounds asc, serial
+  asc).  Byte-identical across serial, parallel, and warm-store runs.
+* :meth:`expected_payload` — the *pinnable* subset, per solver × cell
+  class, written to ``benchmarks/EVAL_<suite>.json`` and diffed by
+  ``benchmarks/check_evals.py``.  Refuses to exist for a degraded run
+  (quarantined cells): a pin computed from a partially-failed suite
+  would silently bless the failure.
+* :meth:`table` — the human view, the only place wall time appears.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..analysis.metrics import success_rate
+from ..analysis.store import SCHEMA_VERSION
+from ..analysis.tables import render_table
+from ..core.runner import get_row
+from ..errors import ConfigurationError
+from ..scenarios import ResultSet
+from .registry import EvalSuite
+
+__all__ = ["EvalReport", "EXPECTED_FORMAT"]
+
+#: Format version of the expected-results payload.  Bump only when the
+#: pinned shape changes incompatibly; ``check_evals.py`` refuses to
+#: compare across versions.
+EXPECTED_FORMAT = 1
+
+
+def _finite(value: float) -> float:
+    """Sort key helper: ``nan`` orders *after* every finite value."""
+    return math.inf if isinstance(value, float) and math.isnan(value) else value
+
+
+class EvalReport:
+    """Aggregation of one eval-suite run.
+
+    ``results`` holds every record the executor produced, in plan order —
+    including quarantine failure records, which the leaderboard excludes
+    from rates (see :func:`~repro.analysis.metrics.success_rate`) and
+    surfaces as a ``quarantined`` count instead.  ``wall_s`` maps each
+    serial to its sub-plan wall time; it is display-only and never enters
+    a comparable payload.
+    """
+
+    def __init__(self, suite: EvalSuite, results: ResultSet,
+                 wall_s: Optional[Dict[int, float]] = None):
+        self.suite = suite
+        self.results = ResultSet(results)
+        self.wall_s = dict(wall_s or {})
+
+    @property
+    def name(self) -> str:
+        return self.suite.name
+
+    def ran(self) -> ResultSet:
+        """The records that actually executed (quarantines excluded)."""
+        return self.results.filter(lambda r: not r.get("failed"))
+
+    def quarantined(self) -> ResultSet:
+        """The quarantine failure records (infrastructure casualties)."""
+        return self.results.filter(lambda r: bool(r.get("failed")))
+
+    def solvers(self) -> List[int]:
+        """Every serial present in the results, ascending."""
+        return sorted({r["serial"] for r in self.results})
+
+    # -- leaderboard ---------------------------------------------------- #
+
+    def leaderboard(self, wall: bool = False) -> List[Dict]:
+        """Per-solver rows, best first.
+
+        Ordering is total and deterministic: success rate descending
+        (``nan`` — a solver whose every cell quarantined — last), then
+        mean simulated rounds ascending (cheaper wins ties), then serial
+        ascending (a stable final tiebreak).  ``wall=True`` appends the
+        measured ``wall_s`` column for human display; comparable payloads
+        always pass ``wall=False``.
+        """
+        any_quarantined = bool(self.quarantined())
+        rows = []
+        for serial in self.solvers():
+            recs = [r for r in self.results if r["serial"] == serial]
+            ran = [r for r in recs if not r.get("failed")]
+            rate = success_rate(recs)
+            sims = [r["rounds_simulated"] for r in ran]
+            mean = sum(sims) / len(sims) if sims else float("nan")
+            row = {
+                "serial": serial,
+                "solver": f"theorem{get_row(serial).theorem}",
+                "cells": len(recs),
+                "success_rate": round(rate, 6) if not math.isnan(rate) else rate,
+                "rounds_simulated_mean": round(mean, 3) if not math.isnan(mean) else mean,
+                "rounds_simulated_max": max(sims) if sims else float("nan"),
+                "activations": sum(r.get("activations", 0) for r in ran),
+            }
+            if any_quarantined:
+                row["quarantined"] = len(recs) - len(ran)
+            if wall:
+                row["wall_s"] = round(self.wall_s.get(serial, 0.0), 3)
+            rows.append(row)
+        rows.sort(key=lambda r: (
+            _finite(-r["success_rate"]),
+            _finite(r["rounds_simulated_mean"]),
+            r["serial"],
+        ))
+        return rows
+
+    # -- pinnable payloads ---------------------------------------------- #
+
+    def expected_payload(self) -> Dict:
+        """The checked-in shape: success/rounds per solver × cell class.
+
+        Wall time is excluded by construction (it is the one
+        non-deterministic measurement), so the payload is byte-identical
+        across serial, parallel, and warm-store executions.  Raises
+        :class:`ConfigurationError` if any cell quarantined — expected
+        results may only be computed from a clean run.
+        """
+        bad = self.quarantined()
+        if bad:
+            raise ConfigurationError(
+                f"suite {self.name!r}: {len(bad)} cell(s) quarantined; "
+                f"expected results require a clean run (inspect "
+                f".failures() or rerun without fault injection)"
+            )
+        solvers: Dict[str, Dict] = {}
+        for serial in self.solvers():
+            classes: Dict[str, Dict] = {}
+            for rec in self.ran():
+                if rec["serial"] != serial:
+                    continue
+                cls = self.suite.classify(rec)
+                bucket = classes.setdefault(cls, {
+                    "cells": 0,
+                    "successes": 0,
+                    "rounds_simulated_total": 0,
+                    "rounds_simulated_max": 0,
+                })
+                bucket["cells"] += 1
+                bucket["successes"] += 1 if rec.get("success") else 0
+                bucket["rounds_simulated_total"] += rec["rounds_simulated"]
+                bucket["rounds_simulated_max"] = max(
+                    bucket["rounds_simulated_max"], rec["rounds_simulated"]
+                )
+            solvers[str(serial)] = {"classes": classes}
+        return {
+            "format": EXPECTED_FORMAT,
+            "suite": self.name,
+            "store_schema_version": SCHEMA_VERSION,
+            "cells": len(self.results),
+            "solvers": solvers,
+        }
+
+    def json_payload(self) -> Dict:
+        """The ``repro eval --json`` document: leaderboard + expected pin.
+
+        Deliberately wall-time-free so the bytes are identical across
+        execution modes; a degraded run (quarantines) keeps the
+        leaderboard, drops the pin, and reports the quarantine count.
+        """
+        doc = {
+            "suite": self.name,
+            "title": self.suite.title,
+            "cells": len(self.results),
+            "leaderboard": self.leaderboard(wall=False),
+        }
+        bad = self.quarantined()
+        if bad:
+            doc["quarantined"] = len(bad)
+        else:
+            doc["expected"] = self.expected_payload()
+        return doc
+
+    # -- human view ----------------------------------------------------- #
+
+    def table(self) -> str:
+        """Aligned leaderboard with wall time, titled by the suite."""
+        rows = self.leaderboard(wall=True)
+        columns = list(rows[0]) if rows else None
+        return render_table(
+            rows, columns=columns,
+            title=f"eval {self.name} — {self.suite.title} ({len(self.results)} cells)",
+        )

@@ -169,9 +169,12 @@ class ResultSet(List[Dict]):
         return _summarize(list(self), group_by, missing=missing)
 
     def success_rate(self) -> float:
-        """Fraction of successful records (``nan`` when empty — see
+        """Fraction of successful records among those that *ran*
+        (``nan`` when nothing ran — see
         :func:`repro.analysis.metrics.success_rate`).  Quarantined
-        failure records count against the rate."""
+        failure records (``failed=True``) are excluded from the rate
+        entirely — numerator and denominator — and surface through
+        :meth:`failures` instead."""
         return _success_rate(self)
 
     def failures(self) -> "ResultSet":
@@ -775,6 +778,29 @@ class ScenarioGrid:
     def filter(self, pred: Callable[[Scenario], bool]) -> "ScenarioGrid":
         """The sub-grid of scenarios satisfying ``pred`` (order kept)."""
         return ScenarioGrid([s for s in self.scenarios if pred(s)])
+
+    def __add__(self, other: "ScenarioGrid") -> "ScenarioGrid":
+        """Union of two grids: ``self``'s scenarios then ``other``'s new
+        ones, first-appearance order, duplicates dropped by scenario
+        identity (same identity ⇒ same store key, so running a duplicate
+        would double-count one cell).  See :meth:`concat` for n-ary use.
+        """
+        if not isinstance(other, ScenarioGrid):
+            return NotImplemented
+        return ScenarioGrid.concat([self, other])
+
+    @classmethod
+    def concat(cls, grids: Sequence["ScenarioGrid"]) -> "ScenarioGrid":
+        """Union of several grids, order-preserving and deduplicated.
+
+        The declarative :func:`grid` builder only expresses *products* of
+        axes; suites whose axes genuinely co-vary (e.g. a tolerance sweep
+        whose ``f`` range depends on the row's own bound) are unions of
+        per-row products.  Scenario identity — not object identity —
+        drives the dedupe, so overlapping sub-grids merge cleanly.
+        """
+        merged = dict.fromkeys(s for g in grids for s in g)
+        return cls(list(merged))
 
     def applicable(self) -> "ScenarioGrid":
         """Drop scenarios whose row does not admit their graph.

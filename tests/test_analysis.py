@@ -80,6 +80,29 @@ class TestMetrics:
         assert math.isnan(success_rate([]))
         assert math.isnan(success_rate(iter([])))
 
+    def test_success_rate_excludes_quarantines(self):
+        """``failed=True`` records leave numerator and denominator
+        alike: a quarantine is an infrastructure casualty, not a
+        protocol outcome, and must not dilute the rate."""
+        recs = [{"success": True}, {"success": False},
+                {"failed": True, "reason": "error"}]
+        assert success_rate(recs) == pytest.approx(1 / 2)
+
+    def test_success_rate_only_quarantines_is_nan(self):
+        assert math.isnan(success_rate([{"failed": True}] * 3))
+
+    def test_summarize_rate_agrees_with_success_rate(self):
+        """The per-group rate is success_rate() of that group — one
+        semantics for both entry points, quarantines excluded."""
+        recs = [
+            {"strategy": "a", "success": True, "rounds_simulated": 4,
+             "rounds_total": 4},
+            {"strategy": "a", "failed": True, "reason": "error"},
+        ]
+        (row,) = summarize(recs, "strategy")
+        assert row["success_rate"] == 1.0
+        assert row["runs"] == 2 and row["failed"] == 1
+
     def test_summarize_empty_guard(self):
         assert summarize([], "strategy") == []
 

@@ -15,6 +15,7 @@ the suite.
 """
 
 import json
+import math
 import multiprocessing
 import os
 import random
@@ -458,8 +459,32 @@ class TestFailureAggregation:
         # A non-dispersed-but-executed run is not a "failure" record.
         assert all(r.get("failed") for r in failures)
 
-    def test_success_rate_counts_failures(self, mixed):
-        assert mixed.success_rate() < 1.0
+    def test_success_rate_excludes_quarantines(self, mixed):
+        """Quarantine records leave the numerator AND the denominator:
+        the rate is the rate of the records that actually ran, so the
+        rate, the round statistics, and ``failures()`` agree on what
+        "failed" means."""
+        ran = mixed.filter(lambda r: not r.get("failed"))
+        assert mixed.success_rate() == ran.success_rate()
+        assert mixed.success_rate() == pytest.approx(
+            sum(1 for r in ran if r["success"]) / len(ran)
+        )
+
+    def test_success_rate_only_quarantines_is_nan(self, mixed):
+        """A set of records in which nothing ran has no rate — not a
+        vacuous 1.0, not a damning 0.0."""
+        assert math.isnan(mixed.failures().success_rate())
+
+    def test_summarize_rate_matches_success_rate(self, mixed):
+        """Per-group summarize rates equal success_rate() on the same
+        group — one semantics, two entry points."""
+        for row in summarize(list(mixed), "strategy"):
+            group = mixed.filter(strategy=row["strategy"])
+            rate = group.success_rate()
+            if math.isnan(rate):
+                assert math.isnan(row["success_rate"])
+            else:
+                assert row["success_rate"] == rate
 
     def test_summarize_tolerates_failures(self, mixed):
         rows = summarize(list(mixed), "strategy")

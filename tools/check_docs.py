@@ -15,6 +15,9 @@ Two checks, both deterministic and network-free:
    ``repro lint`` actually registers.  A checker added without a
    documented rule, or a documented rule whose checker was renamed
    away, fails the gate.
+4. **Eval-registry sync** — the "Eval suites" table in EXPERIMENTS.md
+   must name exactly the suites ``repro.evals.SUITES`` registers, so
+   ``repro eval`` and the docs cannot drift apart.
 
 Run:  python tools/check_docs.py   (exit 0 = docs healthy)
 """
@@ -167,9 +170,55 @@ def check_lint_registry() -> List[str]:
     return errors
 
 
+def check_eval_registry() -> List[str]:
+    """EXPERIMENTS.md's Eval-suites table ↔ the ``repro.evals`` registry."""
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.evals import SUITES  # noqa: PLC0415 - after sys.path setup
+
+    doc = REPO_ROOT / "EXPERIMENTS.md"
+    if not doc.is_file():
+        return ["EXPERIMENTS.md is missing"]
+    text = doc.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Eval suites$(.*?)(?=^## |\Z)", text,
+        flags=re.MULTILINE | re.DOTALL,
+    )
+    if match is None:
+        return ['EXPERIMENTS.md: no "## Eval suites" section']
+    section = match.group(1)
+
+    # Suite names live in the table's *first* column as backticked
+    # tokens (later columns may backtick parameters like `f_max`).
+    documented = set()
+    for line in section.splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        documented.update(re.findall(r"`([A-Za-z0-9_\-]+)`", first_cell))
+
+    errors = []
+    for name in SUITES:
+        if name not in documented:
+            errors.append(
+                f"EXPERIMENTS.md: eval suite {name!r} is registered but "
+                f"missing from the Eval suites table"
+            )
+    for token in sorted(documented):
+        looks_like_suite = re.fullmatch(r"[a-z][a-z0-9]*(_[a-z0-9]+)+", token)
+        if looks_like_suite and token not in SUITES:
+            errors.append(
+                f"EXPERIMENTS.md: Eval suites table names {token!r}, which "
+                f"is not a registered suite"
+            )
+    return errors
+
+
 def main() -> int:
     errors = check_relative_links()
     errors.extend(check_lint_registry())
+    errors.extend(check_eval_registry())
     readme = REPO_ROOT / "README.md"
     if not readme.is_file():
         errors.append("README.md is missing")
